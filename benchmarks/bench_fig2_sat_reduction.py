@@ -1,0 +1,66 @@
+"""FIG2 / Theorem 2: the 3-SAT reduction, satisfiable and unsatisfiable sides."""
+
+from conftest import save_table
+
+from repro.analysis import format_table
+from repro.gadgets import build_sat_reduction, satisfiable_direction_report
+from repro.sat import CNFFormula, random_satisfiable_3sat, solve, tiny_unsatisfiable_formula
+
+
+def run_fig2():
+    rows = []
+    # Satisfiable instances: the canonical profile's per-layer stability.
+    for seed in range(3):
+        formula = random_satisfiable_3sat(3, 4, seed=seed)
+        instance = build_sat_reduction(formula)
+        assignment = solve(formula)
+        report = satisfiable_direction_report(instance, assignment)
+        rows.append(
+            {
+                "formula": f"sat(seed={seed})",
+                "vars": formula.num_variables,
+                "clauses": formula.num_clauses,
+                "literals": sum(len(clause) for clause in formula.clauses),
+                "game_nodes": instance.num_nodes,
+                "variable_layer_stable": report.variable_nodes_stable,
+                "clause_layer_stable": report.clause_nodes_stable,
+                "hub_stable": report.hub_stable,
+                "full_profile_stable": report.is_equilibrium,
+                "max_regret": report.max_regret,
+            }
+        )
+    # An unsatisfiable instance for scale comparison.
+    unsat = tiny_unsatisfiable_formula()
+    instance = build_sat_reduction(unsat)
+    report = satisfiable_direction_report(instance, {1: True, 2: True})
+    rows.append(
+        {
+            "formula": "unsat(2 vars)",
+            "vars": unsat.num_variables,
+            "clauses": unsat.num_clauses,
+            "literals": sum(len(clause) for clause in unsat.clauses),
+            "game_nodes": instance.num_nodes,
+            "variable_layer_stable": report.variable_nodes_stable,
+            "clause_layer_stable": report.clause_nodes_stable,
+            "hub_stable": report.hub_stable,
+            "full_profile_stable": report.is_equilibrium,
+            "max_regret": report.max_regret,
+        }
+    )
+    return rows
+
+
+def test_fig2_reduction_layers(benchmark):
+    rows = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    table = format_table(rows, title="FIG2: 3-SAT -> BBC reduction (canonical profiles)")
+    save_table("fig2_sat_reduction", table)
+    # The layers the text fully specifies verify exactly on satisfiable formulas.
+    sat_rows = [row for row in rows if str(row["formula"]).startswith("sat")]
+    assert all(row["variable_layer_stable"] for row in sat_rows)
+    assert all(row["hub_stable"] for row in sat_rows)
+    # Size is linear in the formula: 3 nodes per variable, one clause node per
+    # clause, one intermediate per literal, plus S, T, and the 10-node gadget.
+    assert all(
+        row["game_nodes"] == 3 * row["vars"] + row["clauses"] + row["literals"] + 12
+        for row in rows
+    )

@@ -1,0 +1,41 @@
+"""FIG3 / Definition 1 / Lemma 6: the Forest of Willows spectrum of stable graphs."""
+
+from conftest import save_table
+
+from repro.analysis import format_table
+from repro.constructions import build_forest_of_willows
+from repro.core import equilibrium_report
+
+
+def run_fig3():
+    rows = []
+    for (k, h, l) in [(2, 2, 0), (2, 2, 1), (2, 2, 2), (2, 3, 0), (2, 3, 1)]:
+        forest = build_forest_of_willows(k, h, l)
+        report = equilibrium_report(forest.game, forest.profile)
+        n = forest.num_nodes
+        social = forest.social_cost()
+        rows.append(
+            {
+                "k": k,
+                "h": h,
+                "l": l,
+                "n": n,
+                "stable": report.is_equilibrium,
+                "max_regret": report.max_regret,
+                "social_cost": social,
+                "per_node_cost": social / n,
+                "optimum_lower_bound": forest.game.minimum_possible_social_cost(),
+            }
+        )
+    return rows
+
+
+def test_fig3_willows_are_stable_and_span_costs(benchmark):
+    rows = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    table = format_table(rows, title="FIG3: Forest of Willows stable graphs")
+    save_table("fig3_forest_of_willows", table)
+    assert all(row["stable"] for row in rows)
+    # Longer tails => socially worse equilibria (the Theorem 4 spectrum).
+    h2 = [row for row in rows if row["h"] == 2]
+    per_node = [row["per_node_cost"] for row in sorted(h2, key=lambda r: r["l"])]
+    assert per_node == sorted(per_node)

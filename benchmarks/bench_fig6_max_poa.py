@@ -1,0 +1,27 @@
+"""FIG6 / Theorem 8: high-cost BBC-max equilibria and the PoA lower bound."""
+
+from conftest import save_table
+
+from repro.analysis import format_table, max_poa_study
+from repro.constructions import build_max_distance_equilibrium
+from repro.core import equilibrium_report
+
+
+def run_fig6():
+    rows = max_poa_study([(3, 3), (3, 5), (4, 3)])
+    stability = []
+    for k, l in [(3, 3), (3, 5)]:
+        instance = build_max_distance_equilibrium(k, l)
+        stability.append(equilibrium_report(instance.game, instance.profile).is_equilibrium)
+    return rows, stability
+
+
+def test_fig6_max_distance_equilibria(benchmark):
+    rows, stability = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    table = format_table(rows, title="FIG6 / Theorem 8: BBC-max price of anarchy")
+    save_table("fig6_max_poa", table)
+    assert all(stability)
+    # The PoA estimate grows with the Theorem 8 scale n/(k log_k n).
+    ordered = sorted(rows, key=lambda row: row["theorem8_scale"])
+    assert ordered[0]["poa_estimate"] <= ordered[-1]["poa_estimate"] + 1e-9
+    assert all(row["poa_estimate"] > 1.0 for row in rows)

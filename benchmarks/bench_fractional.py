@@ -1,0 +1,45 @@
+"""Theorem 3: fractional BBC games always admit (epsilon-)equilibria."""
+
+from conftest import save_table
+
+from repro.analysis import format_table
+from repro.core import BBCGame, FractionalBBCGame, UniformBBCGame, iterated_best_response
+from repro.experiments import random_preference_game
+
+
+def run_fractional():
+    rows = []
+    games = {
+        "uniform(4,1)": FractionalBBCGame(UniformBBCGame(4, 1)),
+        "uniform(5,2)": FractionalBBCGame(UniformBBCGame(5, 2)),
+        "random(n=5,seed=1)": FractionalBBCGame(
+            random_preference_game(5, budget=1, seed=1)
+        ),
+        "random(n=6,seed=2)": FractionalBBCGame(
+            random_preference_game(6, budget=2, seed=2)
+        ),
+    }
+    for name, game in games.items():
+        result = iterated_best_response(game, max_rounds=15, tolerance=1e-4)
+        rows.append(
+            {
+                "game": name,
+                "nodes": game.base.num_nodes,
+                "rounds": result.rounds,
+                "converged": result.converged,
+                "max_final_regret": result.max_final_regret,
+                "final_social_cost": game.social_cost(result.profile),
+            }
+        )
+    return rows
+
+
+def test_thm3_fractional_equilibria_exist(benchmark):
+    rows = benchmark.pedantic(run_fractional, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="Theorem 3: fractional best-response dynamics (epsilon = 1e-4)"
+    )
+    save_table("thm3_fractional", table)
+    # Theorem 3 guarantees existence; iterated best response finds profiles
+    # with negligible regret on every instance tried.
+    assert all(row["max_final_regret"] <= 1e-3 for row in rows)

@@ -1,0 +1,20 @@
+"""Lemma 1: all stable graphs are essentially fair."""
+
+from conftest import save_table
+
+from repro.analysis import fairness_study, format_table
+
+
+def run_lemma1():
+    return fairness_study([(2, 2, 0), (2, 2, 1), (2, 2, 2), (2, 3, 0)])
+
+
+def test_lemma1_fairness_of_stable_graphs(benchmark):
+    rows = benchmark.pedantic(run_lemma1, rounds=1, iterations=1)
+    table = format_table(rows, title="Lemma 1: fairness of stable graphs")
+    save_table("lemma1_fairness", table)
+    assert all(row["stable"] for row in rows)
+    assert all(row["within_additive_bound"] for row in rows)
+    # Multiplicative fairness: within the paper's 2 + 1/k + o(1) bound (with
+    # generous o(1) slack on these small instances).
+    assert all(row["cost_ratio"] <= row["ratio_bound"] + 1.0 for row in rows)

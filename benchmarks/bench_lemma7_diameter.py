@@ -1,0 +1,17 @@
+"""Lemma 7: the diameter of any stable graph is O(sqrt(n) log_k n)."""
+
+from conftest import save_table
+
+from repro.analysis import diameter_study, format_table
+
+
+def run_lemma7():
+    return diameter_study([(2, 2, 0), (2, 2, 2), (2, 3, 0), (2, 3, 2), (3, 2, 1)])
+
+
+def test_lemma7_diameter_of_stable_graphs(benchmark):
+    rows = benchmark.pedantic(run_lemma7, rounds=1, iterations=1)
+    table = format_table(rows, title="Lemma 7: diameter of stable graphs vs sqrt(n) log_k n")
+    save_table("lemma7_diameter", table)
+    assert all(row["diameter"] is not None for row in rows)
+    assert all(row["ratio"] <= 4.0 for row in rows)

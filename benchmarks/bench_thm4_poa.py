@@ -1,0 +1,24 @@
+"""Theorem 4: price of stability Θ(1), price of anarchy grows with sqrt(n/k)."""
+
+from conftest import save_table
+
+from repro.analysis import format_table, poa_spectrum_study
+
+
+def run_thm4():
+    return poa_spectrum_study(2, 2, [0, 2, 4, 6])
+
+
+def test_thm4_poa_pos_spectrum(benchmark):
+    rows = benchmark.pedantic(run_thm4, rounds=1, iterations=1)
+    table = format_table(rows, title="Theorem 4: willow spectrum, PoS vs PoA")
+    save_table("thm4_poa", table)
+    # Price of stability: the l=0 stable graph is within a constant of optimum.
+    baseline = rows[0]
+    assert baseline["l"] == 0
+    assert baseline["cost_over_optimum"] < 3.0
+    # Price of anarchy: the cost ratio grows steadily with the tail length
+    # (the paper's Omega(sqrt(n/k)/log_k n) separation, at laptop scale).
+    ratios = [row["cost_over_optimum"] for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0] * 1.15

@@ -1,0 +1,25 @@
+"""Theorem 5 / Corollary 1 / Lemma 8: regular (Cayley) graphs versus stability."""
+
+from conftest import save_table
+
+from repro.analysis import format_table, hypercube_study, regularity_study
+
+
+def run_thm5():
+    offsets = regularity_study([12, 16, 24, 32], k=2)
+    cubes = hypercube_study([2, 3, 5])
+    return offsets, cubes
+
+
+def test_thm5_regular_graphs_are_unstable(benchmark):
+    offsets, cubes = benchmark.pedantic(run_thm5, rounds=1, iterations=1)
+    table = format_table(offsets, title="Theorem 5: Chord-like offset graphs (k=2)")
+    table += "\n\n" + format_table(cubes, title="Corollary 1: hypercubes")
+    save_table("thm5_cayley", table)
+    # Large-enough offset graphs are never stable and the proof's deviation improves.
+    assert all(not row["stable"] for row in offsets)
+    assert all(row["thm5_deviation_improves"] for row in offsets)
+    # Hypercubes: small ones (Lemma 8 regime) stable, d=5 unstable.
+    by_dim = {row["dimension"]: row for row in cubes}
+    assert by_dim[2]["stable"]
+    assert not by_dim[5]["stable"]

@@ -1,0 +1,32 @@
+"""Theorem 6: round-robin walks reach strong connectivity within n² probes."""
+
+from conftest import save_table
+
+from repro.analysis import (
+    connectivity_convergence_study,
+    format_table,
+    ring_path_lower_bound_study,
+)
+
+
+def run_thm6():
+    random_rows = connectivity_convergence_study([8, 12, 16], k=2, seeds=(0, 1))
+    adversarial_rows = ring_path_lower_bound_study([(6, 3), (10, 5), (14, 7)])
+    return random_rows, adversarial_rows
+
+
+def test_thm6_convergence_to_strong_connectivity(benchmark):
+    random_rows, adversarial_rows = benchmark.pedantic(run_thm6, rounds=1, iterations=1)
+    table = format_table(random_rows, title="Theorem 6: random starts (upper bound n^2)")
+    table += "\n\n" + format_table(
+        adversarial_rows, title="Theorem 6: ring+path adversarial starts (Omega(n^2))"
+    )
+    save_table("thm6_connectivity", table)
+    assert all(row["within_bound"] for row in random_rows)
+    assert all(
+        row["probes_to_connectivity"] <= row["n_squared"] for row in adversarial_rows
+    )
+    # The adversarial probe counts grow super-linearly in n (quadratic-like).
+    probes = [row["probes_to_connectivity"] for row in adversarial_rows]
+    sizes = [row["n"] for row in adversarial_rows]
+    assert probes[-1] / probes[0] > (sizes[-1] / sizes[0]) * 1.2

@@ -1,0 +1,22 @@
+"""Theorem 9: price of stability of uniform BBC-max games is Θ(1)."""
+
+from conftest import save_table
+
+from repro.analysis import format_table, max_pos_study
+from repro.constructions import build_forest_of_willows
+from repro.core import Objective, equilibrium_report
+
+
+def run_thm9():
+    rows = max_pos_study([(2, 2), (2, 3), (3, 2)])
+    forest = build_forest_of_willows(2, 2, 0, objective=Objective.MAX)
+    stable = equilibrium_report(forest.game, forest.profile).is_equilibrium
+    return rows, stable
+
+
+def test_thm9_max_price_of_stability(benchmark):
+    rows, stable = benchmark.pedantic(run_thm9, rounds=1, iterations=1)
+    table = format_table(rows, title="Theorem 9: BBC-max price of stability (willows, l=0)")
+    save_table("thm9_max_pos", table)
+    assert stable
+    assert all(row["pos_estimate"] < 4.0 for row in rows)

@@ -1,0 +1,71 @@
+"""Overlay / P2P neighbour selection: regularity versus stability.
+
+The paper's overlay-network motivation asks whether a structured overlay
+(every peer using the same offset rule, as in Chord) can be a Nash
+equilibrium of selfish neighbour selection.  Theorem 5 says no once the
+network is large enough; this example measures it, then shows what selfish
+dynamics produce instead and how far from the social optimum they land.
+
+Run with ``python examples/p2p_overlay.py``.
+"""
+
+from repro.analysis import format_table
+from repro.constructions import (
+    chord_like_offsets,
+    is_cayley_stable,
+    kary_tree_with_back_links,
+    offset_graph,
+    theorem5_deviation,
+)
+from repro.core import UniformBBCGame, equilibrium_report
+from repro.dynamics import run_best_response_walk
+from repro.experiments import random_initial_profile
+
+
+def main() -> None:
+    k = 2
+    rows = []
+    for n in (12, 16, 24, 32):
+        offsets = chord_like_offsets(n, k)
+        overlay = offset_graph(n, offsets)
+        deviations = theorem5_deviation(overlay)
+        best_gain = max((d.improvement for d in deviations), default=0.0)
+        rows.append(
+            {
+                "peers": n,
+                "offsets": str(list(offsets)),
+                "overlay_is_stable": is_cayley_stable(overlay),
+                "gain_from_thm5_rewire": best_gain,
+                "overlay_social_cost": overlay.game.social_cost(overlay.profile),
+            }
+        )
+    print(format_table(rows, title="Structured overlays are not Nash equilibria (Theorem 5)"))
+
+    # What do selfish peers converge to instead?
+    n = 16
+    game = UniformBBCGame(n, k)
+    walk = run_best_response_walk(game, random_initial_profile(game, seed=3), max_rounds=60)
+    tree_baseline = kary_tree_with_back_links(n, k)
+    comparison = [
+        {
+            "configuration": "selfish best-response outcome",
+            "stable": equilibrium_report(game, walk.final_profile).is_equilibrium,
+            "social_cost": game.social_cost(walk.final_profile),
+        },
+        {
+            "configuration": "engineered tree + back links",
+            "stable": equilibrium_report(tree_baseline.game, tree_baseline.profile).is_equilibrium,
+            "social_cost": tree_baseline.social_cost(),
+        },
+        {
+            "configuration": "analytic optimum lower bound",
+            "stable": "-",
+            "social_cost": game.minimum_possible_social_cost(),
+        },
+    ]
+    print()
+    print(format_table(comparison, title=f"Selfish outcome vs engineered overlay (n={n}, k={k})"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: define a uniform BBC game, run dynamics, verify an equilibrium.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import StrategyProfile, UniformBBCGame, best_response, equilibrium_report
+from repro.constructions import build_forest_of_willows
+from repro.dynamics import run_best_response_walk
+from repro.experiments import random_initial_profile
+
+
+def main() -> None:
+    # 1. An (8, 2)-uniform game: 8 players, each may buy 2 outgoing links.
+    game = UniformBBCGame(8, 2)
+    print(game.describe())
+
+    # 2. Start from a random configuration and let nodes best-respond.
+    initial = random_initial_profile(game, seed=7)
+    print("\ninitial configuration:")
+    print(initial.describe())
+    print("initial social cost:", game.social_cost(initial))
+
+    walk = run_best_response_walk(game, initial, max_rounds=50, record_steps=True)
+    print(f"\nwalk: {walk.deviations} deviations over {walk.rounds} rounds")
+    print("reached a pure Nash equilibrium:", walk.reached_equilibrium)
+    print("final social cost:", game.social_cost(walk.final_profile))
+
+    # 3. Inspect a single node's incentives in the final configuration.
+    response = best_response(game, walk.final_profile, node=0)
+    print(f"\nnode 0: current cost {response.current_cost}, best achievable {response.best_cost}")
+
+    # 4. The paper's explicit stable family: a Forest of Willows.
+    forest = build_forest_of_willows(k=2, height=2, tail_length=1)
+    report = equilibrium_report(forest.game, forest.profile)
+    print(f"\nForest of Willows (k=2, h=2, l=1): n={forest.num_nodes}")
+    print("is a pure Nash equilibrium:", report.is_equilibrium)
+    print("social cost:", forest.social_cost())
+
+    # 5. Hand-built profiles work too: the directed cycle for k = 1.
+    cycle_game = UniformBBCGame(6, 1)
+    cycle = StrategyProfile({i: {(i + 1) % 6} for i in range(6)})
+    print("\n6-cycle stable for (6,1)-uniform game:", equilibrium_report(cycle_game, cycle).is_equilibrium)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Offline search for a small BBC-max game with no pure Nash equilibrium.
+
+Randomly samples small non-uniform preference matrices (uniform link costs,
+lengths, and budgets, k=1) and exhaustively checks whether the induced
+BBC-max game has a pure Nash equilibrium.  Prints any witness found so it can
+be hard-coded into ``repro.gadgets.max_gadget``.
+"""
+
+import itertools
+import json
+import random
+import sys
+
+from repro.core import BBCGame, Objective, StrategyProfile, is_pure_nash, best_response
+
+
+def has_pure_nash_exhaustive(game):
+    nodes = list(game.nodes)
+    options = {u: [v for v in nodes if v != u] for u in nodes}
+    for combo in itertools.product(*(options[u] for u in nodes)):
+        profile = StrategyProfile({u: {t} for u, t in zip(nodes, combo)})
+        if is_pure_nash(game, profile):
+            return profile
+    return None
+
+
+def quick_has_nash(game, rng, starts=15, steps=60):
+    nodes = list(game.nodes)
+    for _ in range(starts):
+        profile = StrategyProfile({u: {rng.choice([v for v in nodes if v != u])} for u in nodes})
+        for _ in range(steps):
+            moved = False
+            for u in nodes:
+                r = best_response(game, profile, u)
+                if r.improved:
+                    profile = r.apply(profile)
+                    moved = True
+            if not moved:
+                return True
+    return False
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    attempts = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 0
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    for attempt in range(attempts):
+        weights = {}
+        for u in nodes:
+            for v in nodes:
+                if u != v and rng.random() < 0.5:
+                    weights[(u, v)] = float(rng.choice([1, 1, 2, 3]))
+        game = BBCGame(
+            nodes=nodes,
+            weights=weights,
+            default_weight=0.0,
+            default_budget=1.0,
+            objective=Objective.MAX,
+        )
+        if quick_has_nash(game, rng):
+            continue
+        witness = has_pure_nash_exhaustive(game)
+        if witness is None:
+            print("FOUND no-NE max game at attempt", attempt)
+            print(json.dumps({f"{u},{v}": w for (u, v), w in weights.items()}, sort_keys=True))
+            return
+    print("no witness found after", attempts, "attempts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in offline environments whose setuptools lacks
+the PEP 660 editable-wheel backend.
+"""
+
+from setuptools import setup
+
+setup()

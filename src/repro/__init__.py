@@ -1,0 +1,52 @@
+"""Reproduction of "Bounded Budget Connection (BBC) Games" (PODC 2008).
+
+The package is organised in layers:
+
+* :mod:`repro.graphs` — directed-graph substrate (shortest paths, SCC, flow);
+* :mod:`repro.sat` — CNF / DPLL substrate for the NP-hardness experiments;
+* :mod:`repro.core` — the BBC game engine (games, best responses, equilibria,
+  fractional games, social-cost metrics);
+* :mod:`repro.constructions` — the paper's explicit graph families;
+* :mod:`repro.gadgets` — the non-existence and NP-hardness gadgets;
+* :mod:`repro.dynamics` — best-response walks and loop detection;
+* :mod:`repro.analysis` — fairness / diameter / price-of-anarchy studies;
+* :mod:`repro.experiments` — seeded workloads and empirical studies.
+
+The most common entry points are re-exported at the top level::
+
+    from repro import UniformBBCGame, StrategyProfile, best_response, is_pure_nash
+"""
+
+from . import analysis, constructions, core, dynamics, experiments, gadgets, graphs, sat
+from .core import (
+    BBCGame,
+    FractionalBBCGame,
+    Objective,
+    StrategyProfile,
+    UniformBBCGame,
+    best_response,
+    equilibrium_report,
+    is_pure_nash,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "sat",
+    "core",
+    "constructions",
+    "gadgets",
+    "dynamics",
+    "analysis",
+    "experiments",
+    "BBCGame",
+    "UniformBBCGame",
+    "FractionalBBCGame",
+    "Objective",
+    "StrategyProfile",
+    "best_response",
+    "equilibrium_report",
+    "is_pure_nash",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis layer: parameter sweeps and table rendering for the benchmarks."""
+
+from .studies import (
+    connectivity_convergence_study,
+    diameter_study,
+    fairness_study,
+    hypercube_study,
+    max_poa_study,
+    max_pos_study,
+    poa_spectrum_study,
+    regularity_study,
+    ring_path_lower_bound_study,
+)
+from .tables import format_table, format_value, merge_rows
+
+__all__ = [
+    "fairness_study",
+    "poa_spectrum_study",
+    "diameter_study",
+    "regularity_study",
+    "hypercube_study",
+    "connectivity_convergence_study",
+    "ring_path_lower_bound_study",
+    "max_poa_study",
+    "max_pos_study",
+    "format_table",
+    "format_value",
+    "merge_rows",
+]

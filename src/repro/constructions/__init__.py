@@ -1,0 +1,62 @@
+"""Explicit graph families from the paper, packaged as game + profile pairs."""
+
+from .cayley import (
+    AbelianCayleyGraph,
+    Theorem5Deviation,
+    abelian_cayley_graph,
+    chord_like_offsets,
+    hypercube_cayley,
+    is_cayley_stable,
+    lemma8_threshold,
+    offset_graph,
+    theorem5_deviation,
+)
+from .forest_of_willows import (
+    WillowForest,
+    WillowParameters,
+    build_forest_of_willows,
+    max_tail_length,
+    willow_cost_spectrum,
+)
+from .max_distance_equilibrium import (
+    MaxDistanceEquilibrium,
+    build_max_distance_equilibrium,
+    max_distance_cost_row,
+)
+from .optima import (
+    BaselineProfile,
+    analytic_optimum_per_node,
+    analytic_optimum_total,
+    kary_tree_with_back_links,
+    log_k,
+    random_k_out_baseline,
+)
+from .ring_path import RingWithPathInstance, build_ring_with_path
+
+__all__ = [
+    "WillowForest",
+    "WillowParameters",
+    "build_forest_of_willows",
+    "max_tail_length",
+    "willow_cost_spectrum",
+    "AbelianCayleyGraph",
+    "Theorem5Deviation",
+    "abelian_cayley_graph",
+    "offset_graph",
+    "chord_like_offsets",
+    "hypercube_cayley",
+    "theorem5_deviation",
+    "is_cayley_stable",
+    "lemma8_threshold",
+    "MaxDistanceEquilibrium",
+    "build_max_distance_equilibrium",
+    "max_distance_cost_row",
+    "RingWithPathInstance",
+    "build_ring_with_path",
+    "BaselineProfile",
+    "kary_tree_with_back_links",
+    "random_k_out_baseline",
+    "analytic_optimum_per_node",
+    "analytic_optimum_total",
+    "log_k",
+]

@@ -1,0 +1,258 @@
+"""Abelian Cayley graphs, regular offset graphs, and hypercubes (Section 4.2).
+
+The paper asks whether a stable graph can be *regular* in the strong sense
+used by structured overlays: every node buys the "same" links, i.e. node
+``x`` links to ``x + a_i (mod n)`` for a fixed set of offsets ``a_i``.  Such
+offset graphs are Cayley graphs of ``Z_n``; the paper analyses the wider
+class of Abelian Cayley graphs and shows (Theorem 5) that none of them is
+stable once ``n >= c·2^k``, while Lemma 8 notes they *are* stable when the
+degree exceeds ``(n-2)/2``.
+
+This module constructs these graph families as strategy profiles of the
+uniform game and implements the specific improving deviation used in the
+proof of Theorem 5 (replace the generator edge ``r -> r·a_i`` with
+``r -> r·a_i·a_i``) so the mechanism behind the theorem can be measured, not
+just the final verdict.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Objective, StrategyProfile, UniformBBCGame, best_response
+from ..core.errors import InvalidGameDefinition
+
+GroupElement = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AbelianCayleyGraph:
+    """A Cayley graph of a product of cyclic groups, as a uniform-game profile."""
+
+    orders: Tuple[int, ...]
+    generators: Tuple[GroupElement, ...]
+    game: UniformBBCGame
+    profile: StrategyProfile
+    index_of: Dict[GroupElement, int]
+    element_of: Tuple[GroupElement, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        """Return the group order (= number of nodes)."""
+        return len(self.element_of)
+
+    @property
+    def degree(self) -> int:
+        """Return the number of generators (= the uniform budget k)."""
+        return len(self.generators)
+
+    def add(self, element: GroupElement, generator: GroupElement) -> GroupElement:
+        """Return ``element + generator`` in the underlying Abelian group."""
+        return tuple(
+            (component + step) % order
+            for component, step, order in zip(element, generator, self.orders)
+        )
+
+
+def _validate_generators(
+    orders: Sequence[int], generators: Sequence[GroupElement]
+) -> Tuple[Tuple[int, ...], Tuple[GroupElement, ...]]:
+    orders = tuple(int(order) for order in orders)
+    if not orders or any(order < 1 for order in orders):
+        raise InvalidGameDefinition("group orders must be positive integers")
+    normalised: List[GroupElement] = []
+    identity = tuple(0 for _ in orders)
+    for generator in generators:
+        generator = tuple(int(component) % order for component, order in zip(generator, orders))
+        if len(generator) != len(orders):
+            raise InvalidGameDefinition(
+                "each generator must have one component per cyclic factor"
+            )
+        if generator == identity:
+            raise InvalidGameDefinition("the identity cannot be a generator (self loop)")
+        normalised.append(generator)
+    if len(set(normalised)) != len(normalised):
+        raise InvalidGameDefinition("generators must be distinct")
+    return orders, tuple(normalised)
+
+
+def abelian_cayley_graph(
+    orders: Sequence[int],
+    generators: Sequence[GroupElement],
+    *,
+    objective: Objective = Objective.SUM,
+) -> AbelianCayleyGraph:
+    """Construct the Cayley graph of ``Z_{orders[0]} x ... x Z_{orders[-1]}``.
+
+    Every group element is a node; node ``x`` buys one link to ``x + a`` for
+    each generator ``a``.  The resulting profile belongs to the
+    ``(n, k)``-uniform game with ``n`` the group order and ``k`` the number
+    of generators.
+    """
+    orders, generators = _validate_generators(orders, generators)
+    elements: List[GroupElement] = [
+        tuple(reversed(combo))
+        for combo in itertools.product(*(range(order) for order in reversed(orders)))
+    ]
+    elements.sort()
+    index_of = {element: index for index, element in enumerate(elements)}
+    n = len(elements)
+    k = len(generators)
+    if k >= n:
+        raise InvalidGameDefinition("the number of generators must be smaller than n")
+
+    game = UniformBBCGame(n, k, objective=objective)
+    strategies: Dict[int, set] = {index: set() for index in range(n)}
+    for element in elements:
+        source = index_of[element]
+        for generator in generators:
+            target_element = tuple(
+                (component + step) % order
+                for component, step, order in zip(element, generator, orders)
+            )
+            strategies[source].add(index_of[target_element])
+    profile = StrategyProfile(strategies)
+    return AbelianCayleyGraph(
+        orders=orders,
+        generators=generators,
+        game=game,
+        profile=profile,
+        index_of=index_of,
+        element_of=tuple(elements),
+    )
+
+
+def offset_graph(
+    n: int, offsets: Sequence[int], *, objective: Objective = Objective.SUM
+) -> AbelianCayleyGraph:
+    """Construct the "regular graph" of the paper: ``x -> x + a_i (mod n)``.
+
+    This is the Cayley graph of the cyclic group ``Z_n`` with generator set
+    ``offsets``; for suitable offsets (e.g. powers of ``floor(n^(1/k))``) the
+    diameter is ``O(n^(1/k))``.
+    """
+    return abelian_cayley_graph((n,), [(offset,) for offset in offsets], objective=objective)
+
+
+def chord_like_offsets(n: int, k: int) -> Tuple[int, ...]:
+    """Return ``k`` geometric offsets ``base^0, base^1, ...`` with small diameter.
+
+    ``base`` is chosen as ``ceil(n^(1/k))`` so the offsets reach every residue
+    within ``O(k · n^(1/k))`` hops, mimicking Chord-style structured overlays.
+    """
+    if k < 1 or n < 2:
+        raise InvalidGameDefinition("need n >= 2 and k >= 1")
+    base = max(2, math.ceil(n ** (1.0 / k)))
+    offsets = []
+    value = 1
+    for _ in range(k):
+        offsets.append(value % n if value % n != 0 else 1)
+        value *= base
+    # Ensure distinctness (possible collisions for tiny n).
+    seen = []
+    for offset in offsets:
+        candidate = offset
+        while candidate in seen or candidate % n == 0:
+            candidate = (candidate + 1) % n
+        seen.append(candidate)
+    return tuple(seen)
+
+
+def hypercube_cayley(dimension: int, *, objective: Objective = Objective.SUM) -> AbelianCayleyGraph:
+    """Construct the ``2^d``-node hypercube as a Cayley graph of ``Z_2^d``.
+
+    Corollary 1 of the paper: for ``d > 4`` this graph is *not* stable for the
+    ``(2^d, d)``-uniform game.
+    """
+    if dimension < 1:
+        raise InvalidGameDefinition("dimension must be at least 1")
+    orders = tuple(2 for _ in range(dimension))
+    generators = []
+    for bit in range(dimension):
+        generator = [0] * dimension
+        generator[bit] = 1
+        generators.append(tuple(generator))
+    return abelian_cayley_graph(orders, generators, objective=objective)
+
+
+@dataclass(frozen=True)
+class Theorem5Deviation:
+    """Outcome of applying the proof-of-Theorem-5 deviation at one node."""
+
+    generator_index: int
+    old_target: int
+    new_target: int
+    cost_before: float
+    cost_after: float
+
+    @property
+    def improvement(self) -> float:
+        """Return the cost decrease achieved by the deviation (> 0 improves)."""
+        return self.cost_before - self.cost_after
+
+
+def theorem5_deviation(
+    cayley: AbelianCayleyGraph, *, root_element: Optional[GroupElement] = None
+) -> List[Theorem5Deviation]:
+    """Evaluate the proof's deviation ``r -> r·a_i`` replaced by ``r -> r·a_i·a_i``.
+
+    Returns one record per generator.  Theorem 5 shows that for
+    ``n >= c·2^k`` at least one of these is strictly improving, which is what
+    makes the Cayley graph unstable; the benchmark reports the achieved
+    improvements so the "regularity versus stability" trade-off can be seen
+    quantitatively.
+    """
+    if root_element is None:
+        root_element = tuple(0 for _ in cayley.orders)
+    root = cayley.index_of[root_element]
+    game = cayley.game
+    profile = cayley.profile
+    cost_before = game.node_cost(profile, root)
+
+    records: List[Theorem5Deviation] = []
+    for generator_index, generator in enumerate(cayley.generators):
+        one_step = cayley.add(root_element, generator)
+        two_step = cayley.add(one_step, generator)
+        old_target = cayley.index_of[one_step]
+        new_target = cayley.index_of[two_step]
+        strategy = set(profile.strategy(root))
+        if old_target not in strategy or new_target == root:
+            continue
+        strategy.discard(old_target)
+        strategy.add(new_target)
+        deviated = profile.with_strategy(root, strategy)
+        cost_after = game.node_cost(deviated, root)
+        records.append(
+            Theorem5Deviation(
+                generator_index=generator_index,
+                old_target=old_target,
+                new_target=new_target,
+                cost_before=cost_before,
+                cost_after=cost_after,
+            )
+        )
+    return records
+
+
+def is_cayley_stable(cayley: AbelianCayleyGraph) -> bool:
+    """Exactly check whether the Cayley profile is a Nash equilibrium.
+
+    Because every node of a vertex-transitive graph sees the same picture, it
+    suffices to check a single node (the identity): the graph is stable if
+    and only if the identity has no profitable deviation.
+    """
+    root = cayley.index_of[tuple(0 for _ in cayley.orders)]
+    result = best_response(cayley.game, cayley.profile, root)
+    return not result.improved
+
+
+def lemma8_threshold(n: int) -> int:
+    """Return the smallest degree for which Lemma 8 guarantees stability.
+
+    Lemma 8: every degree-``k`` Abelian Cayley graph on ``n`` nodes is stable
+    when ``k > (n - 2) / 2``.
+    """
+    return int(math.floor((n - 2) / 2)) + 1

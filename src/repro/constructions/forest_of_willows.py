@@ -1,0 +1,322 @@
+"""The "Forest of Willows" stable graphs (Definition 1 / Figure 3 / Lemma 6).
+
+The construction has ``k`` sections.  Section ``i`` is a complete ``k``-ary
+out-tree of height ``h`` rooted at ``r_i``; beneath each of its ``k^h`` leaves
+hangs a *tail* of ``l`` extra nodes.  Tree nodes spend their budget on their
+children.  Leaf and tail nodes spend one link going down the tail (when a
+node below exists) and their remaining budget on *non-essential* links to
+roots, alternating so that consecutive tail nodes cover complementary root
+sets:
+
+* the last node of a tail links to **all** ``k`` roots;
+* the node above it links to every root **except** its own root ``r_i``;
+* above that, nodes alternate between "``r_i`` plus any ``k-2`` other roots"
+  and "all roots except ``r_i``", exactly as the figure caption prescribes.
+
+Lemma 6 proves these graphs are pure Nash equilibria of the (n, k)-uniform
+game; varying the tail length ``l`` from 0 to ``Θ(sqrt(n/k))`` sweeps the
+social cost from ``O(n² log_k n)`` to ``Ω(n² sqrt(n/k))``, which is how the
+paper separates the price of stability from the price of anarchy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core import Objective, StrategyProfile, UniformBBCGame
+from ..core.errors import InvalidGameDefinition
+
+NodeName = str
+
+
+@dataclass(frozen=True)
+class WillowParameters:
+    """Parameters of a Forest-of-Willows instance."""
+
+    k: int
+    height: int
+    tail_length: int
+
+    @property
+    def nodes_per_tree(self) -> int:
+        """Number of nodes in one complete k-ary tree of the given height."""
+        k, h = self.k, self.height
+        if k == 1:
+            return h + 1
+        return (k ** (h + 1) - 1) // (k - 1)
+
+    @property
+    def leaves_per_tree(self) -> int:
+        """Number of leaves of one tree (``k^h``)."""
+        return self.k ** self.height
+
+    @property
+    def nodes_per_section(self) -> int:
+        """Tree nodes plus tail nodes of one section."""
+        return self.nodes_per_tree + self.leaves_per_tree * self.tail_length
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``n`` of the game."""
+        return self.k * self.nodes_per_section
+
+    def satisfies_definition_constraints(self) -> bool:
+        """Return whether Definition 1's restriction on ``h`` and ``l`` holds.
+
+        The definition requires ``(h+l)²/4 + h + 2l + 1 < n/k``, which is what
+        the stability proof (Lemma 2) uses.
+        """
+        h, l = self.height, self.tail_length
+        n_over_k = self.nodes_per_section
+        return (h + l) ** 2 / 4 + h + 2 * l + 1 < n_over_k
+
+
+@dataclass(frozen=True)
+class WillowForest:
+    """A constructed Forest of Willows together with its game."""
+
+    parameters: WillowParameters
+    game: UniformBBCGame
+    profile: StrategyProfile
+    roots: Tuple[NodeName, ...]
+    sections: Tuple[Tuple[NodeName, ...], ...]
+
+    @property
+    def num_nodes(self) -> int:
+        """Return the number of nodes of the constructed graph."""
+        return self.parameters.num_nodes
+
+    def social_cost(self) -> float:
+        """Return the total social cost of the constructed profile."""
+        return self.game.social_cost(self.profile)
+
+
+def _root_name(section: int) -> NodeName:
+    return f"r{section}"
+
+
+def _tree_node_name(section: int, index: int) -> NodeName:
+    return f"s{section}t{index}"
+
+
+def _tail_node_name(section: int, leaf_index: int, depth: int) -> NodeName:
+    return f"s{section}leaf{leaf_index}tail{depth}"
+
+
+def build_forest_of_willows(
+    k: int,
+    height: int,
+    tail_length: int,
+    *,
+    objective: Objective = Objective.SUM,
+) -> WillowForest:
+    """Construct the Forest of Willows with the given parameters.
+
+    Parameters
+    ----------
+    k:
+        Number of sections, branching factor, and per-node budget.  ``k = 1``
+        degenerates to the directed cycle, which is the stable graph for
+        budget-1 games; it is returned as a single-section "forest".
+    height:
+        Height ``h`` of each complete ``k``-ary tree (``h >= 1``).
+    tail_length:
+        Number of tail nodes ``l >= 0`` hanging beneath every leaf.
+    """
+    if k < 1:
+        raise InvalidGameDefinition("k must be at least 1")
+    if height < 1:
+        raise InvalidGameDefinition("the tree height must be at least 1")
+    if tail_length < 0:
+        raise InvalidGameDefinition("the tail length must be non-negative")
+
+    if k == 1:
+        return _directed_cycle_forest(height, tail_length, objective)
+
+    parameters = WillowParameters(k=k, height=height, tail_length=tail_length)
+    strategies: Dict[NodeName, FrozenSet[NodeName]] = {}
+    roots = tuple(_root_name(i) for i in range(k))
+    sections: List[Tuple[NodeName, ...]] = []
+
+    for section in range(k):
+        section_nodes: List[NodeName] = []
+        own_root = _root_name(section)
+
+        # --- complete k-ary tree, nodes indexed in BFS order -------------- #
+        tree_size = parameters.nodes_per_tree
+        names: List[NodeName] = []
+        for index in range(tree_size):
+            name = own_root if index == 0 else _tree_node_name(section, index)
+            names.append(name)
+            section_nodes.append(name)
+        first_leaf_index = (k ** height - 1) // (k - 1)
+        for index in range(tree_size):
+            children = [
+                names[child]
+                for child in range(k * index + 1, k * index + 1 + k)
+                if child < tree_size
+            ]
+            if children:
+                strategies[names[index]] = frozenset(children)
+
+        # --- tails beneath each leaf -------------------------------------- #
+        for leaf_offset in range(parameters.leaves_per_tree):
+            leaf_name = names[first_leaf_index + leaf_offset]
+            tail_names = [
+                _tail_node_name(section, leaf_offset, depth)
+                for depth in range(1, tail_length + 1)
+            ]
+            section_nodes.extend(tail_names)
+            chain = [leaf_name] + tail_names
+
+            # Root links, assigned bottom-up so the alternation matches the
+            # figure: last tail node -> all roots; one above -> all but own;
+            # then alternate.
+            root_links: Dict[NodeName, FrozenSet[NodeName]] = {}
+            below_has_own_root: Optional[bool] = None
+            for position in range(len(chain) - 1, -1, -1):
+                node = chain[position]
+                is_last = position == len(chain) - 1
+                if is_last and tail_length > 0:
+                    chosen = set(roots)
+                elif is_last and tail_length == 0:
+                    # No tails at all: the leaf itself links to every root.
+                    chosen = set(roots)
+                elif below_has_own_root:
+                    chosen = {r for r in roots if r != own_root}
+                else:
+                    others = [r for r in roots if r != own_root]
+                    chosen = {own_root} | set(others[: k - 2])
+                root_links[node] = frozenset(chosen)
+                below_has_own_root = own_root in chosen
+
+            # Combine the structural "down" link with the root links.
+            for position, node in enumerate(chain):
+                links = set()
+                if position + 1 < len(chain):
+                    links.add(chain[position + 1])
+                    budget_left = k - 1
+                else:
+                    budget_left = k
+                desired_roots = sorted(root_links[node])
+                # Keep the node's own root (if chosen) and fill the rest.
+                keep: List[NodeName] = []
+                if own_root in desired_roots:
+                    keep.append(own_root)
+                for root in desired_roots:
+                    if root not in keep:
+                        keep.append(root)
+                links.update(keep[:budget_left])
+                strategies[node] = frozenset(links)
+
+        sections.append(tuple(section_nodes))
+
+    all_nodes: List[NodeName] = [node for section in sections for node in section]
+    game = UniformBBCGame(len(all_nodes), k, objective=objective)
+    # Rebuild the game on the string labels: UniformBBCGame uses integer
+    # labels, so construct an equivalent uniform game over the names instead.
+    game = _uniform_game_over_labels(all_nodes, k, objective)
+
+    for node in all_nodes:
+        strategies.setdefault(node, frozenset())
+    profile = StrategyProfile(strategies)
+    forest = WillowForest(
+        parameters=parameters,
+        game=game,
+        profile=profile,
+        roots=roots,
+        sections=tuple(sections),
+    )
+    return forest
+
+
+def _uniform_game_over_labels(
+    labels: Sequence[NodeName], k: int, objective: Objective
+) -> UniformBBCGame:
+    """Return a uniform game whose nodes are the given labels.
+
+    :class:`UniformBBCGame` fixes integer labels; the willow construction is
+    much easier to read with structured string labels, so we subclass on the
+    fly by building the base game directly.
+    """
+    game = UniformBBCGame.__new__(UniformBBCGame)
+    game.k = k
+    # Initialise the BBCGame machinery with the label set.
+    from ..core.game import BBCGame  # local import to avoid a cycle at module load
+
+    BBCGame.__init__(
+        game,
+        nodes=labels,
+        default_weight=1.0,
+        default_link_cost=1.0,
+        default_link_length=1.0,
+        default_budget=float(k),
+        objective=objective,
+    )
+    return game
+
+
+def _directed_cycle_forest(
+    height: int, tail_length: int, objective: Objective
+) -> WillowForest:
+    """Degenerate ``k = 1`` case: the directed cycle is the stable graph."""
+    parameters = WillowParameters(k=1, height=height, tail_length=tail_length)
+    n = parameters.num_nodes
+    labels = [f"c{i}" for i in range(n)]
+    strategies = {labels[i]: frozenset({labels[(i + 1) % n]}) for i in range(n)}
+    game = _uniform_game_over_labels(labels, 1, objective)
+    profile = StrategyProfile(strategies)
+    return WillowForest(
+        parameters=parameters,
+        game=game,
+        profile=profile,
+        roots=(labels[0],),
+        sections=(tuple(labels),),
+    )
+
+
+def max_tail_length(k: int, height: int) -> int:
+    """Return the largest tail length satisfying Definition 1's constraint.
+
+    Definition 1 allows any ``0 <= l < 2 sqrt(n/k)`` subject to
+    ``(h+l)²/4 + h + 2l + 1 < n/k``; this helper searches for the largest
+    such ``l`` directly.
+    """
+    best = 0
+    for candidate in range(0, 4 * (k ** height) + 4):
+        params = WillowParameters(k=k, height=height, tail_length=candidate)
+        if params.satisfies_definition_constraints():
+            best = candidate
+        else:
+            break
+    return best
+
+
+def willow_cost_spectrum(
+    k: int, height: int, tail_lengths: Sequence[int], objective: Objective = Objective.SUM
+) -> List[Dict[str, float]]:
+    """Return one row per tail length describing size and social cost.
+
+    This is the data behind the Figure 3 / Theorem 4 "spectrum of stable
+    graphs" discussion: as the tails grow, the (still stable) graphs get
+    socially worse.
+    """
+    rows: List[Dict[str, float]] = []
+    for tail_length in tail_lengths:
+        forest = build_forest_of_willows(k, height, tail_length, objective=objective)
+        n = forest.num_nodes
+        social = forest.social_cost()
+        rows.append(
+            {
+                "k": float(k),
+                "height": float(height),
+                "tail_length": float(tail_length),
+                "n": float(n),
+                "social_cost": social,
+                "social_cost_per_node": social / n,
+                "optimum_lower_bound": forest.game.minimum_possible_social_cost(),
+            }
+        )
+    return rows

@@ -1,0 +1,107 @@
+"""Near-optimal (low social cost) baselines for uniform games.
+
+The social optimum of an (n, k)-uniform game is not known in closed form, but
+the paper's lower bound — every out-degree-k node has at least the layered
+``k, k², ...`` distance profile, i.e. cost Ω(n log_k n) — is matched up to a
+constant by "tree plus back links" graphs.  These constructions provide the
+denominator for empirical price-of-anarchy / price-of-stability tables and a
+convenient non-equilibrium baseline for the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..core import Objective, StrategyProfile, UniformBBCGame
+from ..core.errors import InvalidGameDefinition
+
+
+@dataclass(frozen=True)
+class BaselineProfile:
+    """A baseline (not necessarily stable) profile together with its game."""
+
+    game: UniformBBCGame
+    profile: StrategyProfile
+    description: str
+
+    def social_cost(self) -> float:
+        """Return the social cost of the baseline."""
+        return self.game.social_cost(self.profile)
+
+    def per_node_cost(self) -> float:
+        """Return the average per-node cost of the baseline."""
+        return self.social_cost() / self.game.num_nodes
+
+
+def kary_tree_with_back_links(
+    n: int, k: int, *, objective: Objective = Objective.SUM
+) -> BaselineProfile:
+    """Return the "k-ary tree + back links to the root" baseline.
+
+    Node ``i`` links to its tree children ``k·i + 1 .. k·i + k`` (when they
+    exist); any leftover budget is pointed back at the root (node 0).  Every
+    node reaches its subtree directly and everything else through the root,
+    so all distances are ``O(log_k n)`` and the social cost is
+    ``O(n² log_k n / ...)`` — within a constant of the analytic optimum scale.
+    """
+    if n < 2 or k < 1 or k >= n:
+        raise InvalidGameDefinition("need n >= 2 and 1 <= k < n")
+    game = UniformBBCGame(n, k, objective=objective)
+    strategies: Dict[int, Set[int]] = {}
+    for node in range(n):
+        children = [child for child in range(k * node + 1, k * node + k + 1) if child < n]
+        links: Set[int] = set(children)
+        # Spend leftover budget on a back link to the root, then on the
+        # lowest-numbered nodes not yet linked (they are close to the root).
+        candidates: List[int] = [0] + list(range(1, n))
+        for candidate in candidates:
+            if len(links) >= k:
+                break
+            if candidate != node and candidate not in links:
+                links.add(candidate)
+        strategies[node] = links
+    return BaselineProfile(
+        game=game,
+        profile=StrategyProfile(strategies),
+        description=f"k-ary tree with back links (n={n}, k={k})",
+    )
+
+
+def random_k_out_baseline(
+    n: int, k: int, seed: int = 0, *, objective: Objective = Objective.SUM
+) -> BaselineProfile:
+    """Return a uniformly random k-out profile (the 'unorganised' baseline)."""
+    import random
+
+    if n < 2 or k < 1 or k >= n:
+        raise InvalidGameDefinition("need n >= 2 and 1 <= k < n")
+    rng = random.Random(seed)
+    game = UniformBBCGame(n, k, objective=objective)
+    strategies = {
+        node: set(rng.sample([v for v in range(n) if v != node], k)) for node in range(n)
+    }
+    return BaselineProfile(
+        game=game,
+        profile=StrategyProfile(strategies),
+        description=f"random {k}-out graph (n={n}, k={k}, seed={seed})",
+    )
+
+
+def analytic_optimum_per_node(n: int, k: int) -> float:
+    """Return the paper's per-node lower bound: the layered distance profile sum."""
+    game = UniformBBCGame(n, k)
+    return game.minimum_possible_node_cost()
+
+
+def analytic_optimum_total(n: int, k: int) -> float:
+    """Return ``n`` times the per-node lower bound."""
+    return n * analytic_optimum_per_node(n, k)
+
+
+def log_k(n: int, k: int) -> float:
+    """Return ``log_k n`` (convenience used throughout the benchmark tables)."""
+    if k < 2:
+        raise InvalidGameDefinition("log_k requires k >= 2")
+    return math.log(n, k)

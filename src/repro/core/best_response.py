@@ -1,0 +1,351 @@
+"""Exact and heuristic best responses.
+
+The engine exploits the following exact decomposition.  Fix a node ``u`` and
+the strategies of everyone else.  Any shortest path from ``u`` starts with one
+of ``u``'s purchased links ``(u, a)`` and then never revisits ``u`` (revisiting
+could not shorten it), so
+
+    d(u, v)  =  min over purchased links (u, a) of  [ l(u, a) + d_{G-u}(a, v) ]
+
+where ``d_{G-u}`` is the distance in the network formed by the *other* nodes'
+links with ``u`` deleted.  The matrix ``d_{G-u}(a, v)`` does not depend on
+``u``'s own strategy, so it is computed once per best response (one BFS or
+Dijkstra per candidate target) and every candidate strategy is then scored in
+``O(|strategy| * |targets|)`` time.  This turns exact best responses over all
+``C(n-1, k)`` strategies from thousands of graph traversals into one pass of
+cheap arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..graphs import DiGraph, bfs_distances, dijkstra_distances
+from .errors import SearchSpaceTooLarge
+from .game import BBCGame, DEFAULT_ENUMERATION_LIMIT
+from .objectives import Objective
+from .profile import StrategyProfile, Strategy
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class BestResponseResult:
+    """Outcome of one best-response computation for a single node."""
+
+    node: Node
+    current_strategy: Strategy
+    current_cost: float
+    best_strategy: Strategy
+    best_cost: float
+    evaluated: int
+    improved: bool
+
+    @property
+    def regret(self) -> float:
+        """Return how much the node could gain by deviating (0 when stable)."""
+        return max(0.0, self.current_cost - self.best_cost)
+
+    def apply(self, profile: StrategyProfile) -> StrategyProfile:
+        """Return ``profile`` with this node's best response substituted in."""
+        return profile.with_strategy(self.node, self.best_strategy)
+
+
+class DeviationOracle:
+    """Scores candidate strategies of one node against a fixed environment.
+
+    Parameters
+    ----------
+    game, profile, node:
+        The game, the current profile (only the *other* nodes' strategies are
+        read), and the deviating node.
+    candidates:
+        Restrict the targets the node may link to.  Defaults to every other
+        node.
+    """
+
+    def __init__(
+        self,
+        game: BBCGame,
+        profile: StrategyProfile,
+        node: Node,
+        candidates: Optional[Sequence[Node]] = None,
+    ) -> None:
+        self.game = game
+        self.node = node
+        if candidates is None:
+            candidates = [v for v in game.nodes if v != node]
+        else:
+            candidates = [v for v in candidates if v != node]
+        self.candidates: Tuple[Node, ...] = tuple(dict.fromkeys(candidates))
+        self.penalty = game.disconnection_penalty
+        self.objective = game.objective
+
+        # Targets the node actually cares about (zero-weight targets cannot
+        # change the cost under either objective).
+        self.targets: Tuple[Node, ...] = tuple(
+            v for v in game.nodes if v != node and game.weight(node, v) > 0
+        )
+        self.target_weights: Dict[Node, float] = {
+            v: game.weight(node, v) for v in self.targets
+        }
+
+        # Environment graph: everyone else's links, with `node` deleted.
+        environment = DiGraph()
+        for other in game.nodes:
+            if other != node:
+                environment.add_node(other)
+        for buyer, target in profile.edges():
+            if buyer == node or target == node:
+                continue
+            environment.add_edge(buyer, target, length=game.link_length(buyer, target))
+        self._environment = environment
+
+        # Distance matrix d_{G-u}(a, v) for every candidate first hop a.
+        uniform = game.has_uniform_lengths
+        self._env_distances: Dict[Node, Dict[Node, float]] = {}
+        for first_hop in self.candidates:
+            if uniform:
+                raw = bfs_distances(environment, first_hop)
+                scale = game.max_link_length()
+                self._env_distances[first_hop] = {
+                    v: float(d) * scale for v, d in raw.items()
+                }
+            else:
+                self._env_distances[first_hop] = dijkstra_distances(environment, first_hop)
+
+        # Pre-compute l(u, a) for every candidate.
+        self._first_hop_length: Dict[Node, float] = {
+            a: game.link_length(node, a) for a in self.candidates
+        }
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def distances_for(self, strategy: Iterable[Node]) -> Dict[Node, float]:
+        """Return ``{target: distance}`` for the node playing ``strategy``.
+
+        Only targets with positive preference weight are returned; unreachable
+        targets map to the disconnection penalty.
+        """
+        strategy = tuple(strategy)
+        distances: Dict[Node, float] = {}
+        for target in self.targets:
+            best = math.inf
+            for first_hop in strategy:
+                hop_length = self._first_hop_length.get(first_hop)
+                if hop_length is None:
+                    hop_length = self.game.link_length(self.node, first_hop)
+                env = self._env_distances.get(first_hop)
+                if env is None:
+                    env = self._compute_env_distances(first_hop)
+                through = env.get(target)
+                if through is not None and hop_length + through < best:
+                    best = hop_length + through
+            distances[target] = best if best < math.inf else self.penalty
+        return distances
+
+    def cost_of(self, strategy: Iterable[Node]) -> float:
+        """Return the node's cost when it plays ``strategy``."""
+        distances = self.distances_for(strategy)
+        weighted = {
+            target: self.target_weights[target] * distance
+            for target, distance in distances.items()
+        }
+        return self.objective.aggregate(weighted)
+
+    def _compute_env_distances(self, first_hop: Node) -> Dict[Node, float]:
+        """Compute (and cache) environment distances for an out-of-set candidate."""
+        if self.game.has_uniform_lengths:
+            raw = bfs_distances(self._environment, first_hop)
+            scale = self.game.max_link_length()
+            result = {v: float(d) * scale for v, d in raw.items()}
+        else:
+            result = dijkstra_distances(self._environment, first_hop)
+        self._env_distances[first_hop] = result
+        return result
+
+
+def best_response(
+    game: BBCGame,
+    profile: StrategyProfile,
+    node: Node,
+    *,
+    candidates: Optional[Sequence[Node]] = None,
+    limit: float = DEFAULT_ENUMERATION_LIMIT,
+    prefer_current: bool = True,
+) -> BestResponseResult:
+    """Compute an exact best response for ``node`` against ``profile``.
+
+    All budget-maximal strategies over ``candidates`` are enumerated and scored
+    with a :class:`DeviationOracle`.  Ties are broken in favour of the current
+    strategy (so a stable node reports ``improved=False``) and otherwise by
+    enumeration order, which is deterministic.
+    """
+    oracle = DeviationOracle(game, profile, node, candidates)
+    current_strategy = profile.strategy(node)
+    current_cost = oracle.cost_of(current_strategy)
+
+    best_strategy = current_strategy
+    best_cost = current_cost if prefer_current else math.inf
+    evaluated = 0
+    for strategy in game.feasible_strategies(node, candidates, maximal_only=True, limit=limit):
+        evaluated += 1
+        cost = oracle.cost_of(strategy)
+        if cost < best_cost - 1e-9:
+            best_cost = cost
+            best_strategy = strategy
+    if not prefer_current and best_cost == math.inf:  # no feasible strategy enumerated
+        best_strategy = current_strategy
+        best_cost = current_cost
+    improved = best_cost < current_cost - 1e-9
+    return BestResponseResult(
+        node=node,
+        current_strategy=current_strategy,
+        current_cost=current_cost,
+        best_strategy=best_strategy,
+        best_cost=best_cost,
+        evaluated=evaluated,
+        improved=improved,
+    )
+
+
+def best_response_cost(
+    game: BBCGame,
+    profile: StrategyProfile,
+    node: Node,
+    *,
+    candidates: Optional[Sequence[Node]] = None,
+    limit: float = DEFAULT_ENUMERATION_LIMIT,
+) -> float:
+    """Return only the optimal achievable cost for ``node`` (convenience)."""
+    return best_response(game, profile, node, candidates=candidates, limit=limit).best_cost
+
+
+def greedy_response(
+    game: BBCGame,
+    profile: StrategyProfile,
+    node: Node,
+    *,
+    candidates: Optional[Sequence[Node]] = None,
+) -> BestResponseResult:
+    """Compute a greedy (not necessarily optimal) response for ``node``.
+
+    Links are added one at a time, each minimising the node's cost given the
+    links already chosen, until the budget is exhausted.  This is the
+    practical fallback for games where exact enumeration is too expensive
+    (``C(n-1, k)`` grows quickly); it coincides with the exact best response
+    when ``k = 1``.
+    """
+    oracle = DeviationOracle(game, profile, node, candidates)
+    current_strategy = profile.strategy(node)
+    current_cost = oracle.cost_of(current_strategy)
+
+    available = list(oracle.candidates)
+    chosen: List[Node] = []
+    budget = game.budget(node)
+    evaluated = 0
+    while True:
+        best_addition: Optional[Node] = None
+        best_cost = oracle.cost_of(chosen)
+        for target in available:
+            if target in chosen:
+                continue
+            price = game.link_cost(node, target)
+            spent = game.strategy_cost(node, chosen)
+            if spent + price > budget + 1e-9:
+                continue
+            evaluated += 1
+            cost = oracle.cost_of(chosen + [target])
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best_addition = target
+        if best_addition is None:
+            break
+        chosen.append(best_addition)
+
+    greedy_strategy = frozenset(chosen)
+    greedy_cost = oracle.cost_of(greedy_strategy)
+    if greedy_cost < current_cost - 1e-9:
+        return BestResponseResult(
+            node=node,
+            current_strategy=current_strategy,
+            current_cost=current_cost,
+            best_strategy=greedy_strategy,
+            best_cost=greedy_cost,
+            evaluated=evaluated,
+            improved=True,
+        )
+    return BestResponseResult(
+        node=node,
+        current_strategy=current_strategy,
+        current_cost=current_cost,
+        best_strategy=current_strategy,
+        best_cost=current_cost,
+        evaluated=evaluated,
+        improved=False,
+    )
+
+
+def single_swap_response(
+    game: BBCGame,
+    profile: StrategyProfile,
+    node: Node,
+    *,
+    candidates: Optional[Sequence[Node]] = None,
+) -> BestResponseResult:
+    """Best response restricted to moving at most one existing link.
+
+    Useful as a cheap stability *necessary condition* on large graphs: a
+    profile that admits an improving single-link move is certainly not a Nash
+    equilibrium (the converse does not hold).
+    """
+    oracle = DeviationOracle(game, profile, node, candidates)
+    current_strategy = profile.strategy(node)
+    current_cost = oracle.cost_of(current_strategy)
+    budget = game.budget(node)
+
+    best_strategy = current_strategy
+    best_cost = current_cost
+    evaluated = 0
+    for removed in list(current_strategy) + [None]:
+        base = set(current_strategy)
+        if removed is not None:
+            base.discard(removed)
+        for target in oracle.candidates:
+            if target in base:
+                continue
+            candidate = frozenset(base | {target})
+            if game.strategy_cost(node, candidate) > budget + 1e-9:
+                continue
+            evaluated += 1
+            cost = oracle.cost_of(candidate)
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best_strategy = candidate
+    improved = best_cost < current_cost - 1e-9
+    return BestResponseResult(
+        node=node,
+        current_strategy=current_strategy,
+        current_cost=current_cost,
+        best_strategy=best_strategy,
+        best_cost=best_cost,
+        evaluated=evaluated,
+        improved=improved,
+    )
+
+
+def count_feasible_strategies(game: BBCGame, node: Node) -> int:
+    """Return how many budget-maximal strategies ``node`` has (diagnostics)."""
+    candidates = [v for v in game.nodes if v != node]
+    costs = {game.link_cost(node, v) for v in candidates}
+    if len(costs) <= 1:
+        per_link = next(iter(costs)) if costs else 0.0
+        if per_link <= 0:
+            return 1
+        max_links = min(len(candidates), int(game.budget(node) // per_link))
+        return math.comb(len(candidates), max_links)
+    return sum(1 for _ in game.feasible_strategies(node, maximal_only=True))

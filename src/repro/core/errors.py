@@ -1,0 +1,36 @@
+"""Exceptions raised by the BBC game core."""
+
+from __future__ import annotations
+
+
+class BBCError(Exception):
+    """Base class for all errors raised by :mod:`repro.core`."""
+
+
+class InvalidGameDefinition(BBCError):
+    """Raised when a game specification is internally inconsistent."""
+
+
+class InvalidStrategy(BBCError):
+    """Raised when a strategy violates the game rules (budget, self links...)."""
+
+
+class InvalidProfile(BBCError):
+    """Raised when a strategy profile does not match the game's node set."""
+
+
+class SearchSpaceTooLarge(BBCError):
+    """Raised when an exhaustive enumeration would exceed its configured limit."""
+
+    def __init__(self, description: str, size: float, limit: float) -> None:
+        super().__init__(
+            f"{description}: search space of size ~{size:g} exceeds the limit {limit:g}; "
+            "restrict the candidate sets or raise the limit explicitly"
+        )
+        self.size = size
+        self.limit = limit
+
+
+class BestResponseUnavailable(BBCError):
+    """Raised when no feasible strategy exists for a node (should not happen
+    in well-formed games, since the empty strategy is always feasible)."""

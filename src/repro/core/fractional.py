@@ -1,0 +1,489 @@
+"""Fractional BBC games (Section 3.2 of the paper).
+
+In a fractional game a node may buy *fractions* of links: its strategy is a
+vector ``a_u(v) >= 0`` with ``sum_v a_u(v) * c(u, v) <= b(u)``.  The cost of
+reaching a destination ``v`` is the cost of a minimum-cost **unit flow** from
+``u`` to ``v`` in the network whose edge capacities are the purchased
+fractions (edge costs are the link lengths), plus an always-available edge of
+cost ``M`` that absorbs whatever fraction of the unit cannot be routed — the
+fractional analogue of the disconnection penalty.
+
+Theorem 3 proves a pure Nash equilibrium always exists because each player's
+strategy space is a convex polytope and its cost is convex in its own
+strategy.  The reproduction exercises this computationally:
+
+* node costs are evaluated with the from-scratch min-cost-flow solver in
+  :mod:`repro.graphs.flow`;
+* exact best responses are computed by a single linear program
+  (:func:`fractional_best_response`) built on :func:`scipy.optimize.linprog`;
+* :func:`iterated_best_response` runs best-response dynamics and
+  :func:`epsilon_equilibrium_report` certifies (approximate) equilibria.
+
+Only the sum objective is supported, matching the paper's fractional model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..graphs import FlowNetwork, InfeasibleFlow
+from .errors import BBCError, InvalidStrategy
+from .game import BBCGame
+from .objectives import Objective
+
+Node = Hashable
+FractionalStrategy = Dict[Node, float]
+
+_EPS = 1e-7
+
+
+class FractionalProfile(Mapping[Node, Mapping[Node, float]]):
+    """An assignment of fractional link purchases to every node."""
+
+    __slots__ = ("_strategies",)
+
+    def __init__(self, strategies: Mapping[Node, Mapping[Node, float]]) -> None:
+        cleaned: Dict[Node, Dict[Node, float]] = {}
+        for node, amounts in strategies.items():
+            row: Dict[Node, float] = {}
+            for target, amount in amounts.items():
+                if target == node:
+                    raise InvalidStrategy(f"node {node!r} cannot buy capacity to itself")
+                if amount < -_EPS:
+                    raise InvalidStrategy(
+                        f"negative capacity {amount!r} purchased by {node!r} towards {target!r}"
+                    )
+                if amount > _EPS:
+                    row[target] = float(amount)
+            cleaned[node] = row
+        self._strategies = cleaned
+
+    @staticmethod
+    def empty(nodes: Iterable[Node]) -> "FractionalProfile":
+        """Return the profile in which nobody buys any capacity."""
+        return FractionalProfile({node: {} for node in nodes})
+
+    def with_strategy(self, node: Node, amounts: Mapping[Node, float]) -> "FractionalProfile":
+        """Return a new profile with ``node``'s purchases replaced by ``amounts``."""
+        updated = {n: dict(row) for n, row in self._strategies.items()}
+        if node not in updated:
+            raise InvalidStrategy(f"node {node!r} is not part of this profile")
+        updated[node] = dict(amounts)
+        return FractionalProfile(updated)
+
+    def capacity(self, tail: Node, head: Node) -> float:
+        """Return the capacity purchased by ``tail`` towards ``head``."""
+        return self._strategies.get(tail, {}).get(head, 0.0)
+
+    def strategy(self, node: Node) -> Dict[Node, float]:
+        """Return a copy of ``node``'s purchase vector."""
+        return dict(self._strategies[node])
+
+    def nodes(self) -> Tuple[Node, ...]:
+        """Return the nodes covered by this profile."""
+        return tuple(self._strategies)
+
+    def __getitem__(self, node: Node) -> Mapping[Node, float]:
+        return self._strategies[node]
+
+    def __iter__(self):
+        return iter(self._strategies)
+
+    def __len__(self) -> int:
+        return len(self._strategies)
+
+    def describe(self) -> str:
+        """Return a compact multi-line description of positive purchases."""
+        lines = []
+        for node in sorted(self._strategies, key=repr):
+            row = self._strategies[node]
+            parts = ", ".join(
+                f"{target}:{amount:.3f}" for target, amount in sorted(row.items(), key=lambda kv: repr(kv[0]))
+            )
+            lines.append(f"{node} -> {{{parts}}}")
+        return "\n".join(lines)
+
+
+class FractionalBBCGame:
+    """The fractional relaxation of a :class:`~repro.core.game.BBCGame`.
+
+    The fractional game shares the node set, preferences, link costs, link
+    lengths, budgets, and disconnection penalty of the underlying integral
+    game; only the strategy space changes.
+    """
+
+    def __init__(self, base_game: BBCGame) -> None:
+        if base_game.objective is not Objective.SUM:
+            raise BBCError("fractional BBC games are defined for the sum objective only")
+        self.base = base_game
+
+    # ------------------------------------------------------------------ #
+    # Validation and helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """Return the players of the game."""
+        return self.base.nodes
+
+    def spend_of(self, node: Node, amounts: Mapping[Node, float]) -> float:
+        """Return the budget consumed by the purchase vector ``amounts``."""
+        return sum(
+            amount * self.base.link_cost(node, target) for target, amount in amounts.items()
+        )
+
+    def is_feasible_strategy(self, node: Node, amounts: Mapping[Node, float]) -> bool:
+        """Return ``True`` when ``amounts`` respects ``node``'s budget."""
+        if any(amount < -_EPS for amount in amounts.values()):
+            return False
+        if node in amounts and amounts[node] > _EPS:
+            return False
+        return self.spend_of(node, amounts) <= self.base.budget(node) + 1e-6
+
+    def validate_profile(self, profile: FractionalProfile) -> None:
+        """Raise :class:`InvalidStrategy` when some node overspends."""
+        for node in self.nodes:
+            if node not in profile:
+                raise InvalidStrategy(f"profile is missing node {node!r}")
+            if not self.is_feasible_strategy(node, profile[node]):
+                raise InvalidStrategy(
+                    f"node {node!r} spends {self.spend_of(node, profile[node]):g} "
+                    f"which exceeds its budget {self.base.budget(node):g}"
+                )
+
+    def empty_profile(self) -> FractionalProfile:
+        """Return the all-zero profile."""
+        return FractionalProfile.empty(self.nodes)
+
+    def even_split_profile(self) -> FractionalProfile:
+        """Return the profile where each node spreads its budget evenly.
+
+        A natural symmetric starting point for best-response dynamics.
+        """
+        strategies: Dict[Node, Dict[Node, float]] = {}
+        for node in self.nodes:
+            others = [v for v in self.nodes if v != node]
+            budget = self.base.budget(node)
+            row: Dict[Node, float] = {}
+            if others and budget > 0:
+                per_target_budget = budget / len(others)
+                for target in others:
+                    price = self.base.link_cost(node, target)
+                    row[target] = per_target_budget / price if price > 0 else 1.0
+            strategies[node] = row
+        return FractionalProfile(strategies)
+
+    # ------------------------------------------------------------------ #
+    # Costs
+    # ------------------------------------------------------------------ #
+    def destination_cost(
+        self, profile: FractionalProfile, source: Node, destination: Node
+    ) -> float:
+        """Return the min-cost unit-flow cost from ``source`` to ``destination``.
+
+        The flow network contains one edge per positive purchased capacity
+        (cost = link length) plus a single uncapacitated ``source ->
+        destination`` edge of cost ``M``.  The paper places an ``M`` edge
+        between *every* pair; because ``M`` dominates every realisable path
+        length, an optimal flow never uses more than one ``M`` edge, so the
+        single direct edge yields the same optimum value.
+        """
+        network = FlowNetwork()
+        network.add_node(source)
+        network.add_node(destination)
+        for tail in self.nodes:
+            for head, amount in profile[tail].items():
+                if amount > _EPS:
+                    network.add_edge(tail, head, amount, self.base.link_length(tail, head))
+        network.add_edge(source, destination, 2.0, self.base.disconnection_penalty)
+        cost, _ = network.min_cost_flow(source, destination, 1.0)
+        return cost
+
+    def node_cost(self, profile: FractionalProfile, node: Node) -> float:
+        """Return the preference-weighted sum of unit-flow costs for ``node``."""
+        total = 0.0
+        for target in self.nodes:
+            if target == node:
+                continue
+            weight = self.base.weight(node, target)
+            if weight <= 0:
+                continue
+            total += weight * self.destination_cost(profile, node, target)
+        return total
+
+    def all_costs(self, profile: FractionalProfile) -> Dict[Node, float]:
+        """Return the cost of every node under ``profile``."""
+        return {node: self.node_cost(profile, node) for node in self.nodes}
+
+    def social_cost(self, profile: FractionalProfile) -> float:
+        """Return the total cost over all nodes."""
+        return sum(self.all_costs(profile).values())
+
+
+@dataclass(frozen=True)
+class FractionalBestResponse:
+    """Outcome of one LP-based fractional best response."""
+
+    node: Node
+    current_cost: float
+    best_cost: float
+    best_strategy: Dict[Node, float]
+    improved: bool
+
+    @property
+    def regret(self) -> float:
+        """Return how much the node can gain by deviating."""
+        return max(0.0, self.current_cost - self.best_cost)
+
+
+def fractional_best_response(
+    game: FractionalBBCGame, profile: FractionalProfile, node: Node
+) -> FractionalBestResponse:
+    """Compute an exact best response for ``node`` by solving one LP.
+
+    Decision variables are the node's purchase vector ``a_u(x)`` and, for
+    every destination it cares about, a unit flow over the network formed by
+    the *other* nodes' (fixed) capacities, the node's own (variable)
+    capacities, and the penalty edge.  The LP minimises the preference-
+    weighted total flow cost subject to flow conservation, capacity coupling,
+    and the budget constraint.
+    """
+    base = game.base
+    current_cost = game.node_cost(profile, node)
+
+    candidates = [v for v in base.nodes if v != node]
+    targets = [v for v in candidates if base.weight(node, v) > 0]
+    if not targets:
+        return FractionalBestResponse(
+            node=node,
+            current_cost=current_cost,
+            best_cost=current_cost,
+            best_strategy=profile.strategy(node),
+            improved=False,
+        )
+
+    # Environment edges: purchases of every other node, with positive capacity.
+    env_edges: List[Tuple[Node, Node, float, float]] = []
+    for tail in base.nodes:
+        if tail == node:
+            continue
+        for head, amount in profile[tail].items():
+            if amount > _EPS:
+                env_edges.append((tail, head, amount, base.link_length(tail, head)))
+
+    # Own edges: one per candidate target, with variable capacity a_u(x).
+    own_edges: List[Tuple[Node, Node, float]] = [
+        (node, x, base.link_length(node, x)) for x in candidates
+    ]
+
+    num_capacity_vars = len(candidates)
+    capacity_index = {x: i for i, x in enumerate(candidates)}
+
+    # Per destination: env flows, own flows, penalty flow.
+    flows_per_destination = len(env_edges) + len(own_edges) + 1
+    num_vars = num_capacity_vars + len(targets) * flows_per_destination
+
+    def flow_var(dest_index: int, edge_index: int) -> int:
+        return num_capacity_vars + dest_index * flows_per_destination + edge_index
+
+    objective = np.zeros(num_vars)
+    for dest_index, destination in enumerate(targets):
+        weight = base.weight(node, destination)
+        for edge_index, (_, _, _, length) in enumerate(env_edges):
+            objective[flow_var(dest_index, edge_index)] = weight * length
+        for own_index, (_, _, length) in enumerate(own_edges):
+            objective[flow_var(dest_index, len(env_edges) + own_index)] = weight * length
+        objective[flow_var(dest_index, flows_per_destination - 1)] = (
+            weight * base.disconnection_penalty
+        )
+
+    rows_ub: List[np.ndarray] = []
+    rhs_ub: List[float] = []
+    rows_eq: List[np.ndarray] = []
+    rhs_eq: List[float] = []
+
+    # Budget constraint on the purchase vector.
+    budget_row = np.zeros(num_vars)
+    for x, index in capacity_index.items():
+        budget_row[index] = base.link_cost(node, x)
+    rows_ub.append(budget_row)
+    rhs_ub.append(base.budget(node))
+
+    node_list = list(base.nodes)
+    for dest_index, destination in enumerate(targets):
+        # Capacity constraints.
+        for edge_index, (_, _, capacity, _) in enumerate(env_edges):
+            row = np.zeros(num_vars)
+            row[flow_var(dest_index, edge_index)] = 1.0
+            rows_ub.append(row)
+            rhs_ub.append(capacity)
+        for own_index, (_, x, _) in enumerate(own_edges):
+            row = np.zeros(num_vars)
+            row[flow_var(dest_index, len(env_edges) + own_index)] = 1.0
+            row[capacity_index[x]] = -1.0
+            rows_ub.append(row)
+            rhs_ub.append(0.0)
+        # Flow conservation at every node.
+        for vertex in node_list:
+            row = np.zeros(num_vars)
+            for edge_index, (tail, head, _, _) in enumerate(env_edges):
+                if tail == vertex:
+                    row[flow_var(dest_index, edge_index)] += 1.0
+                if head == vertex:
+                    row[flow_var(dest_index, edge_index)] -= 1.0
+            for own_index, (tail, head, _) in enumerate(own_edges):
+                if tail == vertex:
+                    row[flow_var(dest_index, len(env_edges) + own_index)] += 1.0
+                if head == vertex:
+                    row[flow_var(dest_index, len(env_edges) + own_index)] -= 1.0
+            penalty_var = flow_var(dest_index, flows_per_destination - 1)
+            if vertex == node:
+                row[penalty_var] += 1.0
+            if vertex == destination:
+                row[penalty_var] -= 1.0
+            if vertex == node:
+                supply = 1.0
+            elif vertex == destination:
+                supply = -1.0
+            else:
+                supply = 0.0
+            rows_eq.append(row)
+            rhs_eq.append(supply)
+
+    bounds = [(0.0, None)] * num_vars
+    for index in range(num_capacity_vars):
+        bounds[index] = (0.0, 1.0)  # >1 unit of capacity is never useful for unit flows
+
+    result = linprog(
+        c=objective,
+        A_ub=np.array(rows_ub),
+        b_ub=np.array(rhs_ub),
+        A_eq=np.array(rows_eq),
+        b_eq=np.array(rhs_eq),
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - defensive
+        raise BBCError(f"fractional best-response LP failed: {result.message}")
+
+    best_cost = float(result.fun)
+    best_strategy = {
+        x: float(result.x[capacity_index[x]])
+        for x in candidates
+        if result.x[capacity_index[x]] > _EPS
+    }
+    improved = best_cost < current_cost - 1e-6
+    if not improved:
+        return FractionalBestResponse(
+            node=node,
+            current_cost=current_cost,
+            best_cost=min(best_cost, current_cost),
+            best_strategy=profile.strategy(node),
+            improved=False,
+        )
+    return FractionalBestResponse(
+        node=node,
+        current_cost=current_cost,
+        best_cost=best_cost,
+        best_strategy=best_strategy,
+        improved=True,
+    )
+
+
+@dataclass
+class FractionalDynamicsResult:
+    """Trace of an iterated fractional best-response run."""
+
+    profile: FractionalProfile
+    rounds: int
+    converged: bool
+    max_final_regret: float
+    cost_history: List[float] = field(default_factory=list)
+
+
+def iterated_best_response(
+    game: FractionalBBCGame,
+    initial: Optional[FractionalProfile] = None,
+    *,
+    max_rounds: int = 30,
+    tolerance: float = 1e-5,
+) -> FractionalDynamicsResult:
+    """Run round-robin fractional best-response dynamics.
+
+    Theorem 3 guarantees an equilibrium *exists*; it does not guarantee this
+    particular dynamic converges, so the result records whether the run
+    stopped because no node could improve by more than ``tolerance``.
+    """
+    profile = initial if initial is not None else game.even_split_profile()
+    game.validate_profile(profile)
+    history: List[float] = [game.social_cost(profile)]
+    for round_index in range(1, max_rounds + 1):
+        any_improvement = False
+        for node in game.nodes:
+            response = fractional_best_response(game, profile, node)
+            if response.improved and response.regret > tolerance:
+                profile = profile.with_strategy(node, response.best_strategy)
+                any_improvement = True
+        history.append(game.social_cost(profile))
+        if not any_improvement:
+            report = epsilon_equilibrium_report(game, profile, tolerance)
+            return FractionalDynamicsResult(
+                profile=profile,
+                rounds=round_index,
+                converged=True,
+                max_final_regret=report.max_regret,
+                cost_history=history,
+            )
+    report = epsilon_equilibrium_report(game, profile, tolerance)
+    return FractionalDynamicsResult(
+        profile=profile,
+        rounds=max_rounds,
+        converged=report.max_regret <= tolerance,
+        max_final_regret=report.max_regret,
+        cost_history=history,
+    )
+
+
+@dataclass(frozen=True)
+class EpsilonEquilibriumReport:
+    """Per-node regrets of a fractional profile."""
+
+    regrets: Mapping[Node, float]
+    epsilon: float
+
+    @property
+    def max_regret(self) -> float:
+        """Return the largest per-node regret."""
+        return max(self.regrets.values()) if self.regrets else 0.0
+
+    @property
+    def is_epsilon_equilibrium(self) -> bool:
+        """Return ``True`` when no node can improve by more than ``epsilon``."""
+        return self.max_regret <= self.epsilon
+
+
+def epsilon_equilibrium_report(
+    game: FractionalBBCGame, profile: FractionalProfile, epsilon: float = 1e-5
+) -> EpsilonEquilibriumReport:
+    """Certify ``profile`` as an epsilon-equilibrium (or report who deviates)."""
+    game.validate_profile(profile)
+    regrets = {
+        node: fractional_best_response(game, profile, node).regret for node in game.nodes
+    }
+    return EpsilonEquilibriumReport(regrets=regrets, epsilon=epsilon)
+
+
+def integral_to_fractional(profile_edges: Iterable[Tuple[Node, Node]], nodes: Iterable[Node]) -> FractionalProfile:
+    """Lift an integral strategy profile (edge list) to a fractional profile.
+
+    Each purchased link becomes one unit of capacity, which reproduces the
+    integral distances exactly (a unit flow along a path of unit capacities).
+    """
+    strategies: Dict[Node, Dict[Node, float]] = {node: {} for node in nodes}
+    for tail, head in profile_edges:
+        strategies.setdefault(tail, {})[head] = 1.0
+    return FractionalProfile(strategies)

@@ -1,0 +1,229 @@
+"""Exhaustive and guided searches for pure Nash equilibria in small games.
+
+Theorem 2 shows that deciding pure-NE existence is NP-hard, so these routines
+do not pretend to scale; they exist to verify the paper's small constructions
+(the Figure 1 gadget, reduced 3-SAT instances, small uniform games) by brute
+force, and to empirically explore the equilibrium landscape of small games.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .best_response import best_response
+from .equilibrium import is_pure_nash
+from .errors import SearchSpaceTooLarge
+from .game import BBCGame, DEFAULT_ENUMERATION_LIMIT
+from .profile import StrategyProfile, Strategy
+
+Node = Hashable
+SeedLike = Union[int, random.Random, None]
+
+#: Default cap on the number of profiles an exhaustive search may visit.
+DEFAULT_PROFILE_LIMIT = 5_000_000
+
+
+@dataclass(frozen=True)
+class SearchSummary:
+    """Outcome of an exhaustive pure-Nash search."""
+
+    profiles_examined: int
+    equilibria_found: int
+    first_equilibrium: Optional[StrategyProfile]
+    exhausted: bool
+
+    @property
+    def has_equilibrium(self) -> bool:
+        """Return ``True`` when at least one pure Nash equilibrium was found."""
+        return self.equilibria_found > 0
+
+
+def _candidate_strategy_sets(
+    game: BBCGame,
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]],
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]],
+) -> Dict[Node, List[Strategy]]:
+    """Materialise the per-node strategy sets an exhaustive search ranges over."""
+    sets: Dict[Node, List[Strategy]] = {}
+    for node in game.nodes:
+        if candidate_strategies is not None and node in candidate_strategies:
+            sets[node] = [game.validate_strategy(node, s) for s in candidate_strategies[node]]
+            continue
+        targets = None
+        if candidate_targets is not None and node in candidate_targets:
+            targets = candidate_targets[node]
+        sets[node] = list(game.feasible_strategies(node, targets, maximal_only=True))
+        if not sets[node]:
+            sets[node] = [frozenset()]
+    return sets
+
+
+def enumerate_profiles(
+    game: BBCGame,
+    *,
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
+    limit: float = DEFAULT_PROFILE_LIMIT,
+) -> Iterator[StrategyProfile]:
+    """Yield every profile in the cartesian product of per-node strategy sets.
+
+    The search space size is estimated up front and
+    :class:`SearchSpaceTooLarge` is raised when it exceeds ``limit``.
+    """
+    sets = _candidate_strategy_sets(game, candidate_strategies, candidate_targets)
+    size = 1.0
+    for node in game.nodes:
+        size *= max(1, len(sets[node]))
+    if size > limit:
+        raise SearchSpaceTooLarge("profile enumeration", size, limit)
+    nodes = list(game.nodes)
+    for combination in itertools.product(*(sets[node] for node in nodes)):
+        yield StrategyProfile(dict(zip(nodes, combination)))
+
+
+def exhaustive_equilibrium_search(
+    game: BBCGame,
+    *,
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
+    stop_at_first: bool = True,
+    profile_limit: float = DEFAULT_PROFILE_LIMIT,
+    deviation_limit: float = DEFAULT_ENUMERATION_LIMIT,
+    tolerance: float = 1e-9,
+) -> SearchSummary:
+    """Search for pure Nash equilibria by enumerating profiles.
+
+    Profiles range over the supplied candidate sets (or all budget-maximal
+    strategies by default), while the Nash check for each profile always
+    considers *every* feasible deviation, so any equilibrium reported here is
+    a genuine pure Nash equilibrium of the full game.  A negative result only
+    certifies that no equilibrium uses the enumerated strategy sets.
+    """
+    examined = 0
+    found = 0
+    first: Optional[StrategyProfile] = None
+    for profile in enumerate_profiles(
+        game,
+        candidate_strategies=candidate_strategies,
+        candidate_targets=candidate_targets,
+        limit=profile_limit,
+    ):
+        examined += 1
+        if is_pure_nash(game, profile, tolerance=tolerance, limit=deviation_limit):
+            found += 1
+            if first is None:
+                first = profile
+            if stop_at_first:
+                return SearchSummary(
+                    profiles_examined=examined,
+                    equilibria_found=found,
+                    first_equilibrium=first,
+                    exhausted=False,
+                )
+    return SearchSummary(
+        profiles_examined=examined,
+        equilibria_found=found,
+        first_equilibrium=first,
+        exhausted=True,
+    )
+
+
+def find_equilibria(
+    game: BBCGame,
+    *,
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
+    max_results: Optional[int] = None,
+    profile_limit: float = DEFAULT_PROFILE_LIMIT,
+    tolerance: float = 1e-9,
+) -> List[StrategyProfile]:
+    """Return (up to ``max_results``) pure Nash equilibria found by enumeration."""
+    results: List[StrategyProfile] = []
+    for profile in enumerate_profiles(
+        game,
+        candidate_strategies=candidate_strategies,
+        candidate_targets=candidate_targets,
+        limit=profile_limit,
+    ):
+        if is_pure_nash(game, profile, tolerance=tolerance):
+            results.append(profile)
+            if max_results is not None and len(results) >= max_results:
+                break
+    return results
+
+
+def random_profile(game: BBCGame, seed: SeedLike = None) -> StrategyProfile:
+    """Return a uniformly random budget-maximal profile of ``game``.
+
+    Each node independently buys a maximal affordable set of links chosen by
+    randomly permuting the other nodes and buying greedily until the budget
+    runs out (for uniform link costs this is a uniformly random k-subset).
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    strategies: Dict[Node, Strategy] = {}
+    for node in game.nodes:
+        others = [v for v in game.nodes if v != node]
+        rng.shuffle(others)
+        remaining = game.budget(node)
+        chosen: List[Node] = []
+        for target in others:
+            price = game.link_cost(node, target)
+            if price <= remaining + 1e-9:
+                chosen.append(target)
+                remaining -= price
+        strategies[node] = frozenset(chosen)
+    return StrategyProfile(strategies)
+
+
+def sampled_equilibrium_search(
+    game: BBCGame,
+    *,
+    samples: int = 100,
+    seed: SeedLike = None,
+    tolerance: float = 1e-9,
+) -> SearchSummary:
+    """Look for equilibria among random budget-maximal profiles.
+
+    A cheap, incomplete probe used by the experiment harness to estimate how
+    common equilibria are in a game family.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    examined = 0
+    found = 0
+    first: Optional[StrategyProfile] = None
+    for _ in range(samples):
+        profile = random_profile(game, seed=rng)
+        examined += 1
+        if is_pure_nash(game, profile, tolerance=tolerance):
+            found += 1
+            if first is None:
+                first = profile
+    return SearchSummary(
+        profiles_examined=examined,
+        equilibria_found=found,
+        first_equilibrium=first,
+        exhausted=False,
+    )
+
+
+def estimate_profile_space(game: BBCGame) -> float:
+    """Return (an estimate of) the number of budget-maximal profiles of ``game``."""
+    total = 1.0
+    for node in game.nodes:
+        candidates = [v for v in game.nodes if v != node]
+        costs = {game.link_cost(node, v) for v in candidates}
+        if len(costs) <= 1:
+            per_link = next(iter(costs)) if costs else 0.0
+            if per_link <= 0:
+                count = 1
+            else:
+                max_links = min(len(candidates), int(game.budget(node) // per_link))
+                count = math.comb(len(candidates), max_links)
+        else:
+            count = sum(1 for _ in game.feasible_strategies(node, maximal_only=True))
+        total *= max(1, count)
+    return total

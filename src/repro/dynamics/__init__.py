@@ -1,0 +1,28 @@
+"""Best-response dynamics: walks, convergence to connectivity, and loops."""
+
+from .loop_search import (
+    FIGURE4_DEVIATION_SEQUENCE,
+    FIGURE4_INITIAL_COSTS,
+    FIGURE4_KNOWN_STRATEGIES,
+    FIGURE4_ROUND_ORDER,
+    Figure4Reconstruction,
+    find_cycle_from_random_starts,
+    reconstruct_figure4,
+    verify_figure4_loop,
+)
+from .walk import WalkResult, WalkStep, probes_to_strong_connectivity, run_best_response_walk
+
+__all__ = [
+    "WalkResult",
+    "WalkStep",
+    "run_best_response_walk",
+    "probes_to_strong_connectivity",
+    "Figure4Reconstruction",
+    "reconstruct_figure4",
+    "verify_figure4_loop",
+    "find_cycle_from_random_starts",
+    "FIGURE4_DEVIATION_SEQUENCE",
+    "FIGURE4_KNOWN_STRATEGIES",
+    "FIGURE4_INITIAL_COSTS",
+    "FIGURE4_ROUND_ORDER",
+]

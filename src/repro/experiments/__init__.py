@@ -1,0 +1,27 @@
+"""Experiment harness: seeded workloads and the Section 4.3 empirical studies."""
+
+from .dynamics_study import (
+    empty_start_convergence_study,
+    max_cost_first_convergence_study,
+    scheduler_comparison_study,
+)
+from .workloads import (
+    empty_initial_profile,
+    interest_cluster_game,
+    latency_overlay_game,
+    random_initial_profile,
+    random_preference_game,
+    uniform_game,
+)
+
+__all__ = [
+    "random_preference_game",
+    "interest_cluster_game",
+    "latency_overlay_game",
+    "random_initial_profile",
+    "empty_initial_profile",
+    "uniform_game",
+    "max_cost_first_convergence_study",
+    "empty_start_convergence_study",
+    "scheduler_comparison_study",
+]

@@ -1,0 +1,134 @@
+"""Section 4.3's experimental observations, reproduced as measurable studies.
+
+The paper reports three empirical observations about best-response walks in
+uniform games:
+
+1. walks in which the *maximum-cost* node moves next do **not** always
+   converge to a stable graph;
+2. the same max-cost-first walk started from the **empty** graph does appear
+   to converge;
+3. some walks from non-empty starts appear to take exponentially long.
+
+Each observation gets a study function returning row dictionaries that the
+``bench_dynamics_empirical`` benchmark renders and EXPERIMENTS.md snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Union
+
+from ..core import UniformBBCGame
+from ..dynamics import run_best_response_walk
+from .workloads import empty_initial_profile, random_initial_profile
+
+Row = Dict[str, object]
+SeedLike = Union[int, random.Random, None]
+
+
+def max_cost_first_convergence_study(
+    n: int,
+    k: int,
+    *,
+    num_starts: int = 10,
+    max_rounds: int = 80,
+    seed: SeedLike = 0,
+) -> List[Row]:
+    """Observation 1: max-cost-first walks from random starts may cycle."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    game = UniformBBCGame(n, k)
+    rows: List[Row] = []
+    for start_index in range(num_starts):
+        profile = random_initial_profile(game, seed=rng)
+        result = run_best_response_walk(
+            game,
+            profile,
+            scheduler="max_cost_first",
+            max_rounds=max_rounds,
+            detect_cycles=True,
+        )
+        rows.append(
+            {
+                "start": start_index,
+                "n": n,
+                "k": k,
+                "converged": result.reached_equilibrium,
+                "cycled": result.cycle_detected,
+                "rounds": result.rounds,
+                "deviations": result.deviations,
+                "final_social_cost": game.social_cost(result.final_profile),
+            }
+        )
+    return rows
+
+
+def empty_start_convergence_study(
+    sizes: Sequence[int], k: int, *, max_rounds: int = 120
+) -> List[Row]:
+    """Observation 2: the empty-graph start appears to converge to stability."""
+    rows: List[Row] = []
+    for n in sizes:
+        game = UniformBBCGame(n, k)
+        result = run_best_response_walk(
+            game,
+            empty_initial_profile(game),
+            scheduler="max_cost_first",
+            max_rounds=max_rounds,
+            detect_cycles=True,
+        )
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "converged": result.reached_equilibrium,
+                "cycled": result.cycle_detected,
+                "rounds": result.rounds,
+                "deviations": result.deviations,
+                "final_social_cost": game.social_cost(result.final_profile),
+                "optimum_lower_bound": game.minimum_possible_social_cost(),
+            }
+        )
+    return rows
+
+
+def scheduler_comparison_study(
+    n: int,
+    k: int,
+    *,
+    num_starts: int = 5,
+    max_rounds: int = 80,
+    seed: SeedLike = 0,
+) -> List[Row]:
+    """Compare round-robin, random, and max-cost-first schedules head to head."""
+    game = UniformBBCGame(n, k)
+    rows: List[Row] = []
+    for scheduler in ("round_robin", "random", "max_cost_first"):
+        rng = random.Random(seed if not isinstance(seed, random.Random) else 0)
+        converged = 0
+        cycled = 0
+        total_deviations = 0
+        for _ in range(num_starts):
+            profile = random_initial_profile(game, seed=rng)
+            result = run_best_response_walk(
+                game,
+                profile,
+                scheduler=scheduler,
+                max_rounds=max_rounds,
+                detect_cycles=True,
+                seed=rng,
+            )
+            converged += int(result.reached_equilibrium)
+            cycled += int(result.cycle_detected)
+            total_deviations += result.deviations
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "n": n,
+                "k": k,
+                "starts": num_starts,
+                "converged": converged,
+                "cycled": cycled,
+                "mean_deviations": total_deviations / num_starts,
+            }
+        )
+    return rows

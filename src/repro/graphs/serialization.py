@@ -1,0 +1,83 @@
+"""Serialization helpers for graphs: adjacency dicts, edge lists, DOT text.
+
+Benchmarks and examples render equilibrium graphs for inspection; these
+helpers keep that rendering logic in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from .digraph import DiGraph, from_adjacency
+
+Node = Hashable
+
+
+def to_adjacency_dict(graph: DiGraph) -> Dict[str, List[str]]:
+    """Return a JSON-friendly ``{str(node): [str(successor), ...]}`` mapping."""
+    return {
+        str(node): sorted(str(succ) for succ in graph.successors(node))
+        for node in graph.nodes()
+    }
+
+
+def to_edge_list(graph: DiGraph) -> List[Tuple[Node, Node]]:
+    """Return a sorted list of edges (sorted by ``repr`` for stability)."""
+    return sorted(graph.edges(), key=lambda edge: (repr(edge[0]), repr(edge[1])))
+
+
+def to_json(graph: DiGraph, indent: int = 2) -> str:
+    """Serialise the graph's adjacency structure to a JSON string."""
+    return json.dumps(to_adjacency_dict(graph), indent=indent, sort_keys=True)
+
+
+def from_edge_list(edges: Iterable[Tuple[Node, Node]]) -> DiGraph:
+    """Build a graph from an iterable of ``(tail, head)`` pairs."""
+    graph = DiGraph()
+    for tail, head in edges:
+        graph.add_edge(tail, head)
+    return graph
+
+
+def from_adjacency_dict(adjacency: Mapping[Node, Iterable[Node]]) -> DiGraph:
+    """Build a graph from a ``{node: successors}`` mapping (re-export)."""
+    return from_adjacency(adjacency)
+
+
+def to_dot(graph: DiGraph, name: str = "bbc", highlight: Iterable[Node] = ()) -> str:
+    """Render the graph as Graphviz DOT text.
+
+    ``highlight`` nodes are drawn with a doubled outline so equilibrium
+    figures can emphasise roots / switch nodes.
+    """
+    highlighted = set(highlight)
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes(), key=repr):
+        shape = "doublecircle" if node in highlighted else "circle"
+        lines.append(f'  "{node}" [shape={shape}];')
+    for tail, head in to_edge_list(graph):
+        lines.append(f'  "{tail}" -> "{head}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_adjacency(graph: DiGraph) -> str:
+    """Render a compact one-line-per-node adjacency listing."""
+    lines = []
+    for node in sorted(graph.nodes(), key=repr):
+        succs = ", ".join(str(s) for s in sorted(graph.successors(node), key=repr))
+        lines.append(f"{node} -> [{succs}]")
+    return "\n".join(lines)
+
+
+def graph_fingerprint(graph: DiGraph) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """Return a hashable canonical form of the graph's adjacency structure.
+
+    Best-response walk cycle detection hashes configurations; this helper
+    provides the canonical form used for that hashing.
+    """
+    return tuple(
+        (repr(node), tuple(sorted(repr(succ) for succ in graph.successors(node))))
+        for node in sorted(graph.nodes(), key=repr)
+    )

@@ -1,0 +1,35 @@
+"""SAT substrate: CNF formulas, a DPLL solver, and 3-SAT workload generators.
+
+Used by the NP-hardness (Theorem 2) reduction experiments, which need ground
+truth satisfiability for the formulas that get translated into BBC games.
+"""
+
+from .cnf import Assignment, Clause, CNFFormula, Literal, clause_satisfied, literal_value
+from .dpll import DPLLSolver, SolverStats, is_satisfiable, solve
+from .generators import (
+    pigeonhole_formula,
+    random_3sat,
+    random_satisfiable_3sat,
+    random_unsatisfiable_3sat,
+    tiny_satisfiable_formula,
+    tiny_unsatisfiable_formula,
+)
+
+__all__ = [
+    "CNFFormula",
+    "Clause",
+    "Literal",
+    "Assignment",
+    "clause_satisfied",
+    "literal_value",
+    "DPLLSolver",
+    "SolverStats",
+    "solve",
+    "is_satisfiable",
+    "random_3sat",
+    "random_satisfiable_3sat",
+    "random_unsatisfiable_3sat",
+    "pigeonhole_formula",
+    "tiny_satisfiable_formula",
+    "tiny_unsatisfiable_formula",
+]

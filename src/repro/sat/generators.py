@@ -1,0 +1,114 @@
+"""Random and hand-crafted 3-SAT workloads for the reduction experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from .cnf import CNFFormula
+from .dpll import is_satisfiable
+
+SeedLike = Union[int, random.Random, None]
+
+
+def _rng(seed: SeedLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_3sat(num_variables: int, num_clauses: int, seed: SeedLike = None) -> CNFFormula:
+    """Return a uniformly random 3-SAT formula.
+
+    Each clause picks three distinct variables and independent random signs.
+    """
+    if num_variables < 3:
+        raise ValueError("random 3-SAT needs at least three variables")
+    rng = _rng(seed)
+    clauses: List[tuple] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), 3)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+        clauses.append(clause)
+    return CNFFormula(num_variables=num_variables, clauses=tuple(clauses))
+
+
+def random_satisfiable_3sat(
+    num_variables: int, num_clauses: int, seed: SeedLike = None
+) -> CNFFormula:
+    """Return a random 3-SAT formula guaranteed to be satisfiable.
+
+    A hidden assignment is drawn first and every clause is forced to contain
+    at least one literal satisfied by it (the classic "planted" model).
+    """
+    if num_variables < 3:
+        raise ValueError("random 3-SAT needs at least three variables")
+    rng = _rng(seed)
+    hidden = {v: rng.random() < 0.5 for v in range(1, num_variables + 1)}
+    clauses: List[tuple] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), 3)
+        witness_index = rng.randrange(3)
+        literals = []
+        for position, variable in enumerate(variables):
+            if position == witness_index:
+                literals.append(variable if hidden[variable] else -variable)
+            else:
+                literals.append(variable if rng.random() < 0.5 else -variable)
+        clauses.append(tuple(literals))
+    return CNFFormula(num_variables=num_variables, clauses=tuple(clauses))
+
+
+def random_unsatisfiable_3sat(
+    num_variables: int,
+    num_clauses: int,
+    seed: SeedLike = None,
+    max_attempts: int = 200,
+) -> Optional[CNFFormula]:
+    """Return a random unsatisfiable 3-SAT formula, or ``None`` if not found.
+
+    Random formulas are drawn at high clause density until one is proven
+    unsatisfiable by DPLL; ``None`` is returned after ``max_attempts`` draws.
+    Intended for small variable counts only.
+    """
+    rng = _rng(seed)
+    for _ in range(max_attempts):
+        candidate = random_3sat(num_variables, num_clauses, seed=rng)
+        if not is_satisfiable(candidate):
+            return candidate
+    return None
+
+
+def pigeonhole_formula(holes: int) -> CNFFormula:
+    """Return the (unsatisfiable) pigeonhole principle formula PHP(holes+1, holes).
+
+    Variable ``x_{p,h}`` is encoded as ``p * holes + h + 1`` for pigeon ``p``
+    in ``0..holes`` and hole ``h`` in ``0..holes-1``.  The formula states that
+    ``holes + 1`` pigeons fit into ``holes`` holes with no sharing and is a
+    standard hard unsatisfiable benchmark.
+    """
+    if holes < 1:
+        raise ValueError("need at least one hole")
+    pigeons = holes + 1
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    clauses: List[tuple] = []
+    for pigeon in range(pigeons):
+        clauses.append(tuple(var(pigeon, hole) for hole in range(holes)))
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                clauses.append((-var(first, hole), -var(second, hole)))
+    return CNFFormula(num_variables=pigeons * holes, clauses=tuple(clauses))
+
+
+def tiny_satisfiable_formula() -> CNFFormula:
+    """Return a fixed small satisfiable 3-CNF used in documentation and tests."""
+    return CNFFormula.from_clauses([(1, 2, 3), (-1, 2, -3), (1, -2, 3), (-1, -2, -3)])
+
+
+def tiny_unsatisfiable_formula() -> CNFFormula:
+    """Return a fixed small unsatisfiable CNF (all sign patterns over 2 vars)."""
+    return CNFFormula.from_clauses([(1, 2), (1, -2), (-1, 2), (-1, -2)])

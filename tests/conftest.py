@@ -1,0 +1,17 @@
+"""Shared fixtures for the test-suite."""
+
+import pytest
+
+from repro.core import StrategyProfile, UniformBBCGame
+
+
+@pytest.fixture
+def small_uniform_game():
+    """A (6, 2)-uniform game used by several engine tests."""
+    return UniformBBCGame(6, 2)
+
+
+@pytest.fixture
+def cycle_profile():
+    """The directed 5-cycle as a strategy profile of the (5, 1)-uniform game."""
+    return StrategyProfile({i: {(i + 1) % 5} for i in range(5)})

@@ -1,0 +1,79 @@
+"""Cayley / regular graphs: Theorem 5, Corollary 1, Lemma 8."""
+
+import pytest
+
+from repro.constructions import (
+    abelian_cayley_graph,
+    chord_like_offsets,
+    hypercube_cayley,
+    is_cayley_stable,
+    lemma8_threshold,
+    offset_graph,
+    theorem5_deviation,
+)
+from repro.core import is_pure_nash
+from repro.graphs import is_out_regular, is_strongly_connected
+
+
+def test_offset_graph_structure():
+    cayley = offset_graph(10, [1, 3])
+    graph = cayley.profile.graph()
+    assert cayley.num_nodes == 10
+    assert cayley.degree == 2
+    assert is_out_regular(graph, 2)
+    assert graph.has_edge(cayley.index_of[(0,)], cayley.index_of[(1,)])
+    assert graph.has_edge(cayley.index_of[(0,)], cayley.index_of[(3,)])
+    assert is_strongly_connected(graph)
+
+
+def test_chord_like_offsets_are_distinct_and_nonzero():
+    offsets = chord_like_offsets(64, 3)
+    assert len(set(offsets)) == 3
+    assert all(1 <= o < 64 for o in offsets)
+
+
+def test_generator_validation():
+    with pytest.raises(Exception):
+        abelian_cayley_graph((5,), [(0,)])
+    with pytest.raises(Exception):
+        abelian_cayley_graph((5,), [(1,), (1,)])
+
+
+def test_directed_cycle_is_stable_k1():
+    # For k = 1 the simple directed cycle is an Abelian Cayley graph and the
+    # paper notes it *is* stable.
+    cayley = offset_graph(8, [1])
+    assert is_cayley_stable(cayley)
+    assert is_pure_nash(cayley.game, cayley.profile)
+
+
+def test_theorem5_offset_graph_unstable():
+    cayley = offset_graph(24, chord_like_offsets(24, 2))
+    assert not is_cayley_stable(cayley)
+    deviations = theorem5_deviation(cayley)
+    assert any(d.improvement > 0 for d in deviations)
+
+
+def test_corollary1_hypercube_unstable():
+    cayley = hypercube_cayley(5)
+    assert not is_cayley_stable(cayley)
+
+
+def test_small_hypercube_stability_status():
+    # d = 2 (the 4-cycle with both directions, degree 2 on 4 nodes) satisfies
+    # Lemma 8's k > (n-2)/2 condition and is stable.
+    small = hypercube_cayley(2)
+    assert small.degree > (small.num_nodes - 2) / 2
+    assert is_cayley_stable(small)
+
+
+def test_lemma8_complete_like_cayley_is_stable():
+    # Z_6 with offsets {1,...,5} is the complete digraph: trivially stable.
+    cayley = offset_graph(6, [1, 2, 3, 4, 5])
+    assert cayley.degree >= lemma8_threshold(cayley.num_nodes)
+    assert is_cayley_stable(cayley)
+
+
+def test_vertex_transitivity_single_node_check_agrees_with_full_check():
+    cayley = offset_graph(10, [1, 2])
+    assert is_cayley_stable(cayley) == is_pure_nash(cayley.game, cayley.profile)

@@ -1,0 +1,82 @@
+"""Forest of Willows construction and stability (Definition 1 / Lemma 6)."""
+
+import pytest
+
+from repro.constructions import (
+    WillowParameters,
+    build_forest_of_willows,
+    max_tail_length,
+    willow_cost_spectrum,
+)
+from repro.core import Objective, equilibrium_report, is_pure_nash
+from repro.graphs import is_strongly_connected
+
+
+def test_parameter_arithmetic():
+    params = WillowParameters(k=2, height=2, tail_length=1)
+    assert params.nodes_per_tree == 7
+    assert params.leaves_per_tree == 4
+    assert params.nodes_per_section == 11
+    assert params.num_nodes == 22
+    assert params.satisfies_definition_constraints()
+
+
+def test_construction_counts_and_budgets():
+    forest = build_forest_of_willows(2, 2, 1)
+    assert forest.num_nodes == 22
+    game, profile = forest.game, forest.profile
+    game.validate_profile(profile)
+    for node in game.nodes:
+        assert profile.out_degree(node) <= 2
+    # Every node spends its full budget of k = 2 links.
+    assert profile.number_of_edges() == 2 * game.num_nodes
+    assert is_strongly_connected(profile.graph())
+
+
+def test_small_willows_are_exact_equilibria():
+    for (k, h, l) in [(2, 2, 0), (2, 2, 1)]:
+        forest = build_forest_of_willows(k, h, l)
+        report = equilibrium_report(forest.game, forest.profile)
+        assert report.is_equilibrium, f"willow {(k, h, l)} not stable"
+
+
+@pytest.mark.slow
+def test_medium_willow_is_exact_equilibrium():
+    forest = build_forest_of_willows(2, 3, 1)
+    assert is_pure_nash(forest.game, forest.profile)
+
+
+def test_k1_degenerates_to_cycle():
+    forest = build_forest_of_willows(1, 3, 2)
+    game, profile = forest.game, forest.profile
+    assert all(profile.out_degree(node) == 1 for node in game.nodes)
+    assert is_pure_nash(game, profile)
+
+
+def test_social_cost_grows_with_tail_length():
+    rows = willow_cost_spectrum(2, 2, [0, 1, 2])
+    per_node = [row["social_cost_per_node"] for row in rows]
+    assert per_node[0] < per_node[1] < per_node[2]
+    assert all(row["social_cost"] >= row["optimum_lower_bound"] for row in rows)
+
+
+def test_max_tail_length_respects_constraint():
+    longest = max_tail_length(2, 3)
+    assert longest >= 1
+    assert WillowParameters(2, 3, longest).satisfies_definition_constraints()
+    assert not WillowParameters(2, 3, longest + 1).satisfies_definition_constraints()
+
+
+def test_max_objective_willow_l0_is_stable():
+    forest = build_forest_of_willows(2, 2, 0, objective=Objective.MAX)
+    report = equilibrium_report(forest.game, forest.profile)
+    assert report.is_equilibrium
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(Exception):
+        build_forest_of_willows(0, 2, 1)
+    with pytest.raises(Exception):
+        build_forest_of_willows(2, 0, 1)
+    with pytest.raises(Exception):
+        build_forest_of_willows(2, 2, -1)

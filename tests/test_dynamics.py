@@ -1,0 +1,93 @@
+"""Best-response walks: Theorem 6, Figure 4, and the scheduler machinery."""
+
+import pytest
+
+from repro.constructions import build_ring_with_path
+from repro.core import StrategyProfile, UniformBBCGame, is_pure_nash, random_profile
+from repro.dynamics import (
+    FIGURE4_DEVIATION_SEQUENCE,
+    FIGURE4_KNOWN_STRATEGIES,
+    find_cycle_from_random_starts,
+    probes_to_strong_connectivity,
+    reconstruct_figure4,
+    run_best_response_walk,
+    verify_figure4_loop,
+)
+from repro.graphs import is_strongly_connected
+
+
+def test_walk_from_cycle_terminates_immediately(cycle_profile):
+    game = UniformBBCGame(5, 1)
+    result = run_best_response_walk(game, cycle_profile, max_rounds=5)
+    assert result.reached_equilibrium
+    assert result.deviations == 0
+    assert result.strong_connectivity_probe == 0
+
+
+def test_walk_records_steps_and_applies_deviations():
+    game = UniformBBCGame(5, 1)
+    profile = StrategyProfile({0: {1}, 1: {2}, 2: {3}, 3: {4}, 4: {3}})
+    result = run_best_response_walk(game, profile, max_rounds=20, record_steps=True)
+    assert result.deviations >= 1
+    assert len(result.steps) == result.deviations
+    assert all(step.new_cost < step.old_cost for step in result.steps)
+    game.validate_profile(result.final_profile)
+
+
+def test_theorem6_random_starts_within_n_squared():
+    for n, k, seed in [(8, 1, 0), (10, 2, 1), (12, 2, 2)]:
+        game = UniformBBCGame(n, k)
+        profile = random_profile(game, seed=seed)
+        probes = probes_to_strong_connectivity(game, profile)
+        assert probes is not None
+        assert probes <= n * n
+        # And the graph really is strongly connected at that point.
+        result = run_best_response_walk(
+            game, profile, stop_at_strong_connectivity=True, stop_at_equilibrium=False,
+            max_rounds=n + 2,
+        )
+        assert is_strongly_connected(result.final_profile.graph())
+
+
+def test_theorem6_ring_path_lower_bound_is_quadratic_like():
+    instance = build_ring_with_path(10, 5)
+    probes = probes_to_strong_connectivity(
+        instance.game, instance.profile, round_order=instance.round_order
+    )
+    n = instance.num_nodes
+    assert probes is not None and probes <= n * n
+    # The adversarial start needs many probes: at least (r - p) rounds of
+    # roughly n probes each (the Ω(n²) mechanism), far more than a random start.
+    assert probes >= (instance.ring_size - instance.path_size) * 2
+
+
+def test_max_cost_first_scheduler_runs():
+    game = UniformBBCGame(8, 2)
+    profile = random_profile(game, seed=3)
+    result = run_best_response_walk(
+        game, profile, scheduler="max_cost_first", max_rounds=30
+    )
+    assert result.rounds >= 1
+    with pytest.raises(ValueError):
+        run_best_response_walk(game, profile, scheduler="unknown")
+
+
+def test_figure4_cycle_exists_in_7_2_games():
+    result = find_cycle_from_random_starts(7, 2, attempts=30, seed=0)
+    assert result is not None
+    assert result.cycle_detected
+    assert not result.reached_equilibrium
+
+
+@pytest.mark.slow
+def test_figure4_reconstruction_reproduces_published_loop():
+    reconstructions = reconstruct_figure4(max_results=1)
+    assert reconstructions, "no completion of Figure 4 reproduces the published loop"
+    reconstruction = reconstructions[0]
+    assert verify_figure4_loop(reconstruction)
+    for node, strategy in FIGURE4_KNOWN_STRATEGIES.items():
+        assert reconstruction.profile.strategy(node) == strategy
+    assert reconstruction.deviation_sequence == FIGURE4_DEVIATION_SEQUENCE
+    # The looping configuration is not a Nash equilibrium (it keeps cycling).
+    game = UniformBBCGame(7, 2)
+    assert not is_pure_nash(game, reconstruction.profile)

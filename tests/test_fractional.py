@@ -1,0 +1,111 @@
+"""Fractional BBC games: flow costs, LP best responses, Theorem 3 dynamics."""
+
+import pytest
+
+from repro.core import (
+    FractionalBBCGame,
+    FractionalProfile,
+    InvalidStrategy,
+    Objective,
+    StrategyProfile,
+    UniformBBCGame,
+    BBCGame,
+    epsilon_equilibrium_report,
+    fractional_best_response,
+    integral_to_fractional,
+    is_pure_nash,
+    iterated_best_response,
+)
+
+
+@pytest.fixture
+def small_fractional_game():
+    return FractionalBBCGame(UniformBBCGame(4, 1))
+
+
+def test_fractional_profile_validation(small_fractional_game):
+    game = small_fractional_game
+    profile = FractionalProfile({0: {1: 0.5, 2: 0.5}, 1: {2: 1.0}, 2: {3: 1.0}, 3: {0: 1.0}})
+    game.validate_profile(profile)
+    overspent = FractionalProfile({0: {1: 0.8, 2: 0.8}, 1: {}, 2: {}, 3: {}})
+    with pytest.raises(InvalidStrategy):
+        game.validate_profile(overspent)
+    with pytest.raises(InvalidStrategy):
+        FractionalProfile({0: {0: 1.0}})
+
+
+def test_max_objective_rejected():
+    with pytest.raises(Exception):
+        FractionalBBCGame(UniformBBCGame(4, 1, objective=Objective.MAX))
+
+
+def test_integral_lift_reproduces_integral_costs(cycle_profile):
+    base = UniformBBCGame(5, 1)
+    fractional = FractionalBBCGame(base)
+    lifted = integral_to_fractional(cycle_profile.edges(), base.nodes)
+    for node in base.nodes:
+        assert fractional.node_cost(lifted, node) == pytest.approx(
+            base.node_cost(cycle_profile, node)
+        )
+    assert fractional.social_cost(lifted) == pytest.approx(base.social_cost(cycle_profile))
+
+
+def test_destination_cost_uses_penalty_for_unreachable(small_fractional_game):
+    game = small_fractional_game
+    empty = game.empty_profile()
+    cost = game.destination_cost(empty, 0, 1)
+    assert cost == pytest.approx(game.base.disconnection_penalty)
+
+
+def test_fractional_split_costs_blend_path_and_penalty():
+    base = UniformBBCGame(3, 1)
+    game = FractionalBBCGame(base)
+    # Node 0 buys half a link to 1; node 1 fully links to 2.
+    profile = FractionalProfile({0: {1: 0.5}, 1: {2: 1.0}, 2: {}})
+    cost01 = game.destination_cost(profile, 0, 1)
+    assert cost01 == pytest.approx(0.5 * 1 + 0.5 * base.disconnection_penalty)
+
+
+def test_lp_best_response_improves_empty_strategy(small_fractional_game):
+    game = small_fractional_game
+    profile = game.even_split_profile()
+    response = fractional_best_response(game, profile, 0)
+    assert response.best_cost <= response.current_cost + 1e-6
+    spend = game.spend_of(0, response.best_strategy)
+    assert spend <= game.base.budget(0) + 1e-6
+
+
+def test_lp_best_response_matches_integral_on_cycle(cycle_profile):
+    base = UniformBBCGame(5, 1)
+    game = FractionalBBCGame(base)
+    lifted = integral_to_fractional(cycle_profile.edges(), base.nodes)
+    response = fractional_best_response(game, lifted, 0)
+    # The directed cycle is a pure Nash equilibrium of the integral game and
+    # remains one in the fractional relaxation: no deviation helps node 0.
+    assert response.regret <= 1e-6
+
+
+def test_iterated_best_response_reaches_epsilon_equilibrium():
+    base = UniformBBCGame(4, 1)
+    game = FractionalBBCGame(base)
+    result = iterated_best_response(game, max_rounds=12, tolerance=1e-4)
+    assert result.rounds <= 12
+    report = epsilon_equilibrium_report(game, result.profile, epsilon=1e-3)
+    assert report.max_regret <= 1e-3 or not result.converged
+    assert len(result.cost_history) >= 2
+
+
+def test_theorem3_nonuniform_instance_has_epsilon_equilibrium():
+    # A small non-uniform game (the kind Theorem 1 uses to break integral
+    # equilibria) still admits a fractional (epsilon-)equilibrium, as
+    # Theorem 3 guarantees.
+    game = FractionalBBCGame(
+        BBCGame(
+            nodes=range(4),
+            weights={(0, 1): 2.0, (1, 2): 1.0, (2, 3): 3.0, (3, 0): 1.0, (0, 3): 1.0},
+            default_weight=0.0,
+            default_budget=1.0,
+        )
+    )
+    result = iterated_best_response(game, max_rounds=20, tolerance=1e-4)
+    assert result.max_final_regret <= 1e-3

@@ -1,0 +1,77 @@
+"""Min-cost flow solver tests (the fractional-game substrate)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import FlowNetwork, InfeasibleFlow, min_cost_unit_flow_cost
+
+
+def test_single_path_unit_flow():
+    network = FlowNetwork()
+    network.add_edge("s", "a", 1.0, 2.0)
+    network.add_edge("a", "t", 1.0, 3.0)
+    assert network.min_cost_unit_flow("s", "t") == pytest.approx(5.0)
+
+
+def test_flow_prefers_cheaper_route():
+    network = FlowNetwork()
+    network.add_edge("s", "a", 1.0, 1.0)
+    network.add_edge("a", "t", 1.0, 1.0)
+    network.add_edge("s", "t", 1.0, 10.0)
+    assert network.min_cost_unit_flow("s", "t") == pytest.approx(2.0)
+
+
+def test_fractional_split_across_two_routes():
+    network = FlowNetwork()
+    network.add_edge("s", "a", 0.5, 1.0)
+    network.add_edge("a", "t", 0.5, 1.0)
+    network.add_edge("s", "t", 1.0, 10.0)
+    cost, flows = network.min_cost_flow("s", "t", 1.0)
+    # Half a unit takes the cheap two-hop route, the rest the expensive edge.
+    assert cost == pytest.approx(0.5 * 2 + 0.5 * 10)
+
+
+def test_infeasible_flow_raises():
+    network = FlowNetwork()
+    network.add_edge("s", "a", 0.3, 1.0)
+    network.add_node("t")
+    network.add_edge("a", "t", 0.3, 1.0)
+    with pytest.raises(InfeasibleFlow):
+        network.min_cost_flow("s", "t", 1.0)
+
+
+def test_negative_cost_rejected():
+    network = FlowNetwork()
+    with pytest.raises(Exception):
+        network.add_edge("s", "t", 1.0, -1.0)
+
+
+def test_helper_returns_none_when_unroutable():
+    assert min_cost_unit_flow_cost([("s", "a", 0.2, 1.0)], "s", "t") is None
+
+
+def test_matches_networkx_on_random_instances():
+    import random
+
+    rng = random.Random(3)
+    for trial in range(5):
+        n = 6
+        edges = []
+        for u in range(n):
+            for v in range(n):
+                if u != v and (u, v) != (0, n - 1) and rng.random() < 0.5:
+                    edges.append((u, v, rng.randint(1, 2), rng.randint(1, 6)))
+        edges.append((0, n - 1, 2, 100))
+        network = FlowNetwork()
+        oracle = nx.DiGraph()
+        for u, v, cap, cost in edges:
+            network.add_edge(u, v, float(cap), float(cost))
+            oracle.add_edge(u, v, capacity=cap, weight=cost)
+        cost, _ = network.min_cost_flow(0, n - 1, 1.0)
+        oracle.nodes[0]["demand"] = -1
+        oracle.nodes[n - 1]["demand"] = 1
+        flow = nx.min_cost_flow(oracle)
+        expected_cost = sum(
+            flow[u][v] * oracle[u][v]["weight"] for u in flow for v in flow[u]
+        )
+        assert cost == pytest.approx(expected_cost, rel=1e-6)

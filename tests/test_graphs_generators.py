@@ -1,0 +1,100 @@
+"""Generators, properties, and serialization helpers."""
+
+import pytest
+
+from repro.graphs import (
+    ascii_adjacency,
+    complete_graph,
+    complete_kary_out_tree,
+    degree_histogram,
+    directed_cycle,
+    empty_graph,
+    from_edge_list,
+    graph_fingerprint,
+    hop_distance_max,
+    hop_distance_sum,
+    hypercube,
+    is_out_regular,
+    random_k_out_graph,
+    reach_vector,
+    ring_with_tail,
+    sorted_reach_profile,
+    to_adjacency_dict,
+    to_dot,
+    to_edge_list,
+    to_json,
+    total_hop_distance,
+)
+
+
+def test_empty_and_complete_graph_sizes():
+    assert empty_graph(5).number_of_edges() == 0
+    complete = complete_graph(4)
+    assert complete.number_of_edges() == 12
+    assert is_out_regular(complete, 3)
+
+
+def test_directed_cycle_is_regular():
+    cycle = directed_cycle(6)
+    assert is_out_regular(cycle, 1)
+    assert degree_histogram(cycle) == {1: 6}
+
+
+def test_complete_kary_tree_node_count():
+    tree = complete_kary_out_tree(2, 3)
+    assert tree.number_of_nodes() == 15
+    assert tree.out_degree(0) == 2
+    leaves = [n for n in tree.nodes() if tree.out_degree(n) == 0]
+    assert len(leaves) == 8
+
+
+def test_hypercube_structure():
+    cube = hypercube(3)
+    assert cube.number_of_nodes() == 8
+    assert is_out_regular(cube, 3)
+    assert cube.has_edge(0, 1) and cube.has_edge(0, 2) and cube.has_edge(0, 4)
+
+
+def test_random_k_out_graph_has_exact_out_degree():
+    graph = random_k_out_graph(10, 3, seed=4)
+    assert is_out_regular(graph, 3)
+    for node in graph.nodes():
+        assert node not in set(graph.successors(node))
+
+
+def test_ring_with_tail_reach_structure():
+    graph = ring_with_tail(6, 3)
+    reaches = reach_vector(graph)
+    # The tail nodes reach everything on the ring; ring nodes cannot reach the tail.
+    assert reaches[6] == 9
+    assert reaches[0] == 6
+    assert sorted_reach_profile(graph)[0] == 6
+
+
+def test_hop_distance_metrics_with_penalty():
+    graph = from_edge_list([(0, 1), (1, 2)])
+    graph.add_node(3)
+    assert hop_distance_sum(graph, 0, penalty=10) == 1 + 2 + 10
+    assert hop_distance_max(graph, 0, penalty=10) == 10
+    assert total_hop_distance(graph, penalty=10) > 0
+
+
+def test_serialization_roundtrip_and_rendering():
+    graph = from_edge_list([("a", "b"), ("b", "c")])
+    adjacency = to_adjacency_dict(graph)
+    assert adjacency["a"] == ["b"]
+    assert ("a", "b") in to_edge_list(graph)
+    assert '"a" -> "b"' in to_dot(graph)
+    assert "a -> [b]" in ascii_adjacency(graph)
+    assert '"a"' in to_json(graph)
+    fingerprint = graph_fingerprint(graph)
+    assert fingerprint == graph_fingerprint(graph.copy())
+
+
+def test_generator_argument_validation():
+    with pytest.raises(ValueError):
+        directed_cycle(0)
+    with pytest.raises(ValueError):
+        random_k_out_graph(4, 4)
+    with pytest.raises(ValueError):
+        complete_kary_out_tree(0, 2)
