@@ -1,0 +1,184 @@
+"""Speed benchmark: flat-array engine vs dict-based reference hot paths.
+
+Times full equilibrium checks (``equilibrium_report``) and best-response
+walks (``run_best_response_walk``) at n in {8, 16, 32, 64} (k = 2), against
+both the flat-array :class:`~repro.engine.CostEngine` path (the default) and
+the reference :class:`~repro.core.best_response.DeviationOracle` path
+(``engine=False`` / ``use_engine=False``).  Results go to
+``benchmarks/output/BENCH_speed.json`` as a machine-readable trajectory for
+future PRs, plus a rendered table in ``BENCH_speed.txt``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_speed.py            # full run
+    PYTHONPATH=src python scripts/bench_speed.py --smoke    # seconds, CI-friendly
+
+The reference path is skipped above ``--max-reference-n`` (default 32: at
+n = 64 the dict-based oracle takes minutes for no extra information — the
+speedup trend is already established).
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import UniformBBCGame, equilibrium_report  # noqa: E402
+from repro.dynamics import run_best_response_walk  # noqa: E402
+from repro.engine import CostEngine  # noqa: E402
+from repro.experiments.workloads import (  # noqa: E402
+    empty_initial_profile,
+    random_initial_profile,
+)
+
+OUTPUT_DIR = REPO_ROOT / "benchmarks" / "output"
+K = 2
+PROFILE_SEED = 7
+WALK_MAX_ROUNDS = 8
+
+
+def time_call(fn, repeats):
+    """Return (best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_equilibrium(n, repeats, include_reference):
+    game = UniformBBCGame(n, K)
+    profile = random_initial_profile(game, seed=PROFILE_SEED)
+    # A fresh engine per call: time the cold path (snapshot build + all SSSPs),
+    # not a warmed cache, so the comparison against the oracle is fair.
+    engine_time, engine_report = time_call(
+        lambda: equilibrium_report(game, profile, engine=CostEngine(game)), repeats
+    )
+    row = {
+        "task": "equilibrium_report",
+        "n": n,
+        "k": K,
+        "engine_seconds": engine_time,
+        "max_regret": engine_report.max_regret,
+    }
+    if include_reference:
+        reference_time, reference_report = time_call(
+            lambda: equilibrium_report(game, profile, engine=False), repeats
+        )
+        assert reference_report.max_regret == engine_report.max_regret
+        row["reference_seconds"] = reference_time
+        row["speedup"] = reference_time / engine_time
+    return row
+
+
+def bench_walk(n, repeats, include_reference):
+    game = UniformBBCGame(n, K)
+    initial = empty_initial_profile(game)
+
+    def run(engine):
+        return run_best_response_walk(
+            game, initial, max_rounds=WALK_MAX_ROUNDS, engine=engine
+        )
+
+    # Fresh engine per timing so every repeat pays the cold path, matching
+    # the per-call oracle construction of the reference.
+    engine_time, engine_result = time_call(lambda: run(CostEngine(game)), repeats)
+    row = {
+        "task": "best_response_walk",
+        "n": n,
+        "k": K,
+        "max_rounds": WALK_MAX_ROUNDS,
+        "engine_seconds": engine_time,
+        "probes": engine_result.probes,
+        "deviations": engine_result.deviations,
+    }
+    if include_reference:
+        reference_time, reference_result = time_call(lambda: run(False), repeats)
+        assert reference_result.final_profile == engine_result.final_profile
+        assert reference_result.probes == engine_result.probes
+        row["reference_seconds"] = reference_time
+        row["speedup"] = reference_time / engine_time
+    return row
+
+
+def render_table(rows):
+    lines = [
+        f"{'task':<22} {'n':>4} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
+    ]
+    for row in rows:
+        reference = row.get("reference_seconds")
+        speedup = row.get("speedup")
+        lines.append(
+            f"{row['task']:<22} {row['n']:>4} "
+            f"{(f'{reference:.4f}' if reference is not None else '-'):>13} "
+            f"{row['engine_seconds']:>10.4f} "
+            f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>8}"
+        )
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes and one repeat so the whole run takes seconds",
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
+    parser.add_argument(
+        "--max-reference-n",
+        type=int,
+        default=32,
+        help="largest n at which the dict-based reference path is also timed",
+    )
+    args = parser.parse_args()
+
+    sizes = [8, 16] if args.smoke else [8, 16, 32, 64]
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    if repeats < 1:
+        parser.error(f"--repeats must be at least 1 (got {repeats})")
+
+    rows = []
+    for n in sizes:
+        include_reference = n <= args.max_reference_n
+        print(f"benchmarking n={n} (reference={'yes' if include_reference else 'no'}) ...")
+        rows.append(bench_equilibrium(n, repeats, include_reference))
+        rows.append(bench_walk(n, repeats, include_reference))
+
+    payload = {
+        "benchmark": "bench_speed",
+        "k": K,
+        "sizes": sizes,
+        "repeats": repeats,
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "results": rows,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    json_path = OUTPUT_DIR / "BENCH_speed.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    table = render_table(rows)
+    (OUTPUT_DIR / "BENCH_speed.txt").write_text(table + "\n")
+    print("\n" + table)
+    print(f"\nwrote {json_path}")
+
+    checked = [
+        row for row in rows if row["task"] == "equilibrium_report" and "speedup" in row
+    ]
+    if any(row["n"] >= 32 and row["speedup"] < 3.0 for row in checked):
+        print("WARNING: equilibrium_report speedup at n>=32 fell below 3x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

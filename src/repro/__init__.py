@@ -6,6 +6,8 @@ The package is organised in layers:
 * :mod:`repro.sat` — CNF / DPLL substrate for the NP-hardness experiments;
 * :mod:`repro.core` — the BBC game engine (games, best responses, equilibria,
   fractional games, social-cost metrics);
+* :mod:`repro.engine` — the flat-array distance/cost engine the hot paths
+  route through (int-indexed CSR snapshots, version-stamped caches);
 * :mod:`repro.constructions` — the paper's explicit graph families;
 * :mod:`repro.gadgets` — the non-existence and NP-hardness gadgets;
 * :mod:`repro.dynamics` — best-response walks and loop detection;
@@ -17,7 +19,7 @@ The most common entry points are re-exported at the top level::
     from repro import UniformBBCGame, StrategyProfile, best_response, is_pure_nash
 """
 
-from . import analysis, constructions, core, dynamics, experiments, gadgets, graphs, sat
+from . import analysis, constructions, core, dynamics, engine, experiments, gadgets, graphs, sat
 from .core import (
     BBCGame,
     FractionalBBCGame,
@@ -35,6 +37,7 @@ __all__ = [
     "graphs",
     "sat",
     "core",
+    "engine",
     "constructions",
     "gadgets",
     "dynamics",

@@ -14,19 +14,32 @@ Dijkstra per candidate target) and every candidate strategy is then scored in
 ``O(|strategy| * |targets|)`` time.  This turns exact best responses over all
 ``C(n-1, k)`` strategies from thousands of graph traversals into one pass of
 cheap arithmetic.
+
+Two implementations share that decomposition:
+
+* :class:`DeviationOracle` — the dict-based reference.  It rebuilds a
+  label-keyed environment :class:`~repro.graphs.DiGraph` per probe and is kept
+  for clarity and as the parity baseline;
+* the flat-array :class:`~repro.engine.CostEngine` — the default.  It masks
+  the probed node out of a shared int-indexed CSR snapshot of the profile and
+  caches the ``d_{G-u}(a, ·)`` rows against a profile version stamp, so walks
+  and equilibrium checks reuse everything a local strategy change did not
+  invalidate.
+
+``best_response``, ``greedy_response``, and ``single_swap_response`` route
+through the engine by default; pass ``engine=False`` to force the reference
+oracle, or an explicit :class:`~repro.engine.CostEngine` to control cache
+sharing.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs import DiGraph, bfs_distances, dijkstra_distances
-from .errors import SearchSpaceTooLarge
 from .game import BBCGame, DEFAULT_ENUMERATION_LIMIT
-from .objectives import Objective
 from .profile import StrategyProfile, Strategy
 
 Node = Hashable
@@ -76,11 +89,7 @@ class DeviationOracle:
     ) -> None:
         self.game = game
         self.node = node
-        if candidates is None:
-            candidates = [v for v in game.nodes if v != node]
-        else:
-            candidates = [v for v in candidates if v != node]
-        self.candidates: Tuple[Node, ...] = tuple(dict.fromkeys(candidates))
+        self.candidates: Tuple[Node, ...] = _normalized_candidates(game, node, candidates)
         self.penalty = game.disconnection_penalty
         self.objective = game.objective
 
@@ -169,6 +178,42 @@ class DeviationOracle:
         return result
 
 
+def _normalized_candidates(
+    game: BBCGame, node: Node, candidates: Optional[Sequence[Node]]
+) -> Tuple[Node, ...]:
+    """Return the candidate targets in oracle order (dedup, ``node`` removed)."""
+    if candidates is None:
+        candidates = [v for v in game.nodes if v != node]
+    else:
+        candidates = [v for v in candidates if v != node]
+    return tuple(dict.fromkeys(candidates))
+
+
+def _make_scorer(
+    game: BBCGame,
+    profile: StrategyProfile,
+    node: Node,
+    candidates: Optional[Sequence[Node]],
+    engine,
+):
+    """Return a ``score(strategy_labels) -> float`` callable for ``node``.
+
+    ``engine=None`` uses the shared per-game :class:`~repro.engine.CostEngine`,
+    ``engine=False`` forces the reference :class:`DeviationOracle`, and an
+    explicit engine instance is used as-is (synced to ``profile``).
+    """
+    from ..engine import resolve_engine
+
+    engine = resolve_engine(game, engine)
+    if engine is None:
+        return DeviationOracle(game, profile, node, candidates).cost_of
+    engine.sync(profile)
+    scorer = engine.scorer(node)
+    # With dense int labels `score` would just forward to `score_ints`; bind
+    # the inner method directly and skip a call layer per candidate strategy.
+    return scorer.score_ints if scorer.identity_labels else scorer.score
+
+
 def best_response(
     game: BBCGame,
     profile: StrategyProfile,
@@ -177,24 +222,27 @@ def best_response(
     candidates: Optional[Sequence[Node]] = None,
     limit: float = DEFAULT_ENUMERATION_LIMIT,
     prefer_current: bool = True,
+    engine=None,
 ) -> BestResponseResult:
     """Compute an exact best response for ``node`` against ``profile``.
 
-    All budget-maximal strategies over ``candidates`` are enumerated and scored
-    with a :class:`DeviationOracle`.  Ties are broken in favour of the current
-    strategy (so a stable node reports ``improved=False``) and otherwise by
-    enumeration order, which is deterministic.
+    All budget-maximal strategies over ``candidates`` are enumerated and
+    scored against the node's environment distances (flat-array engine by
+    default, reference oracle with ``engine=False``).  Ties are broken in
+    favour of the current strategy (so a stable node reports
+    ``improved=False``) and otherwise by enumeration order, which is
+    deterministic.
     """
-    oracle = DeviationOracle(game, profile, node, candidates)
+    score = _make_scorer(game, profile, node, candidates, engine)
     current_strategy = profile.strategy(node)
-    current_cost = oracle.cost_of(current_strategy)
+    current_cost = score(current_strategy)
 
     best_strategy = current_strategy
     best_cost = current_cost if prefer_current else math.inf
     evaluated = 0
     for strategy in game.feasible_strategies(node, candidates, maximal_only=True, limit=limit):
         evaluated += 1
-        cost = oracle.cost_of(strategy)
+        cost = score(strategy)
         if cost < best_cost - 1e-9:
             best_cost = cost
             best_strategy = strategy
@@ -220,9 +268,12 @@ def best_response_cost(
     *,
     candidates: Optional[Sequence[Node]] = None,
     limit: float = DEFAULT_ENUMERATION_LIMIT,
+    engine=None,
 ) -> float:
     """Return only the optimal achievable cost for ``node`` (convenience)."""
-    return best_response(game, profile, node, candidates=candidates, limit=limit).best_cost
+    return best_response(
+        game, profile, node, candidates=candidates, limit=limit, engine=engine
+    ).best_cost
 
 
 def greedy_response(
@@ -231,6 +282,7 @@ def greedy_response(
     node: Node,
     *,
     candidates: Optional[Sequence[Node]] = None,
+    engine=None,
 ) -> BestResponseResult:
     """Compute a greedy (not necessarily optimal) response for ``node``.
 
@@ -240,35 +292,39 @@ def greedy_response(
     (``C(n-1, k)`` grows quickly); it coincides with the exact best response
     when ``k = 1``.
     """
-    oracle = DeviationOracle(game, profile, node, candidates)
+    score = _make_scorer(game, profile, node, candidates, engine)
     current_strategy = profile.strategy(node)
-    current_cost = oracle.cost_of(current_strategy)
+    current_cost = score(current_strategy)
 
-    available = list(oracle.candidates)
+    available = _normalized_candidates(game, node, candidates)
     chosen: List[Node] = []
     budget = game.budget(node)
+    spent = 0.0
     evaluated = 0
+    # The cost of `chosen` carries over between rounds (it equals the winning
+    # candidate's cost), and `spent` is accumulated incrementally; neither
+    # depends on the candidate target, so neither is recomputed per target.
+    best_cost = score(chosen)
     while True:
         best_addition: Optional[Node] = None
-        best_cost = oracle.cost_of(chosen)
         for target in available:
             if target in chosen:
                 continue
             price = game.link_cost(node, target)
-            spent = game.strategy_cost(node, chosen)
             if spent + price > budget + 1e-9:
                 continue
             evaluated += 1
-            cost = oracle.cost_of(chosen + [target])
+            cost = score(chosen + [target])
             if cost < best_cost - 1e-9:
                 best_cost = cost
                 best_addition = target
         if best_addition is None:
             break
         chosen.append(best_addition)
+        spent += game.link_cost(node, best_addition)
 
     greedy_strategy = frozenset(chosen)
-    greedy_cost = oracle.cost_of(greedy_strategy)
+    greedy_cost = best_cost
     if greedy_cost < current_cost - 1e-9:
         return BestResponseResult(
             node=node,
@@ -296,6 +352,7 @@ def single_swap_response(
     node: Node,
     *,
     candidates: Optional[Sequence[Node]] = None,
+    engine=None,
 ) -> BestResponseResult:
     """Best response restricted to moving at most one existing link.
 
@@ -303,26 +360,27 @@ def single_swap_response(
     profile that admits an improving single-link move is certainly not a Nash
     equilibrium (the converse does not hold).
     """
-    oracle = DeviationOracle(game, profile, node, candidates)
+    score = _make_scorer(game, profile, node, candidates, engine)
     current_strategy = profile.strategy(node)
-    current_cost = oracle.cost_of(current_strategy)
+    current_cost = score(current_strategy)
     budget = game.budget(node)
 
     best_strategy = current_strategy
     best_cost = current_cost
     evaluated = 0
+    available = _normalized_candidates(game, node, candidates)
     for removed in list(current_strategy) + [None]:
         base = set(current_strategy)
         if removed is not None:
             base.discard(removed)
-        for target in oracle.candidates:
+        for target in available:
             if target in base:
                 continue
             candidate = frozenset(base | {target})
             if game.strategy_cost(node, candidate) > budget + 1e-9:
                 continue
             evaluated += 1
-            cost = oracle.cost_of(candidate)
+            cost = score(candidate)
             if cost < best_cost - 1e-9:
                 best_cost = cost
                 best_strategy = candidate

@@ -9,7 +9,7 @@ from stability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 from .best_response import BestResponseResult, best_response, single_swap_response
@@ -62,19 +62,26 @@ def equilibrium_report(
     candidates: Optional[Mapping[Node, Sequence[Node]]] = None,
     tolerance: float = 1e-9,
     limit: float = DEFAULT_ENUMERATION_LIMIT,
+    engine=None,
 ) -> EquilibriumReport:
     """Check every node of ``profile`` for profitable deviations.
 
     ``candidates`` optionally restricts, per node, the targets considered in
     the deviation search; by default every other node is considered, which
     makes a positive verdict an exact pure-Nash certificate.
+
+    All nodes are probed against the same profile, so the default flat-array
+    engine computes each environment-distance row at most once for the whole
+    report; ``engine=False`` forces the reference dict-based oracle.
     """
     game.validate_profile(profile)
     responses: Dict[Node, BestResponseResult] = {}
     stable = True
     for node in game.nodes:
         node_candidates = None if candidates is None else candidates.get(node)
-        result = best_response(game, profile, node, candidates=node_candidates, limit=limit)
+        result = best_response(
+            game, profile, node, candidates=node_candidates, limit=limit, engine=engine
+        )
         responses[node] = result
         if result.regret > tolerance:
             stable = False
@@ -87,6 +94,7 @@ def is_pure_nash(
     *,
     tolerance: float = 1e-9,
     limit: float = DEFAULT_ENUMERATION_LIMIT,
+    engine=None,
 ) -> bool:
     """Return ``True`` when ``profile`` is a pure Nash equilibrium of ``game``.
 
@@ -94,7 +102,7 @@ def is_pure_nash(
     """
     game.validate_profile(profile)
     for node in game.nodes:
-        result = best_response(game, profile, node, limit=limit)
+        result = best_response(game, profile, node, limit=limit, engine=engine)
         if result.regret > tolerance:
             return False
     return True
@@ -106,11 +114,12 @@ def first_unstable_node(
     *,
     tolerance: float = 1e-9,
     limit: float = DEFAULT_ENUMERATION_LIMIT,
+    engine=None,
 ) -> Optional[BestResponseResult]:
     """Return the best response of the first node that wants to deviate, if any."""
     game.validate_profile(profile)
     for node in game.nodes:
-        result = best_response(game, profile, node, limit=limit)
+        result = best_response(game, profile, node, limit=limit, engine=engine)
         if result.regret > tolerance:
             return result
     return None
@@ -121,6 +130,7 @@ def swap_stability_report(
     profile: StrategyProfile,
     *,
     tolerance: float = 1e-9,
+    engine=None,
 ) -> EquilibriumReport:
     """Cheap necessary condition for stability: no improving single-link move.
 
@@ -133,7 +143,7 @@ def swap_stability_report(
     responses: Dict[Node, BestResponseResult] = {}
     stable = True
     for node in game.nodes:
-        result = single_swap_response(game, profile, node)
+        result = single_swap_response(game, profile, node, engine=engine)
         responses[node] = result
         if result.regret > tolerance:
             stable = False

@@ -407,13 +407,24 @@ class BBCGame:
             weighted[target] = weight * distance
         return self.objective.aggregate(weighted)
 
-    def all_costs(self, profile: StrategyProfile) -> Dict[Node, float]:
-        """Return the cost of every node under ``profile``."""
-        return {node: self.node_cost(profile, node) for node in self._nodes}
+    def all_costs(self, profile: StrategyProfile, *, engine=None) -> Dict[Node, float]:
+        """Return the cost of every node under ``profile``.
 
-    def social_cost(self, profile: StrategyProfile) -> float:
+        Routed through the shared flat-array :class:`~repro.engine.CostEngine`
+        (one CSR snapshot, one int-BFS/Dijkstra per node, cached per profile
+        version); ``engine=False`` forces the reference per-node
+        :meth:`node_cost` path.
+        """
+        from ..engine import resolve_engine
+
+        engine = resolve_engine(self, engine)
+        if engine is None:
+            return {node: self.node_cost(profile, node) for node in self._nodes}
+        return engine.all_costs(profile)
+
+    def social_cost(self, profile: StrategyProfile, *, engine=None) -> float:
         """Return the total cost over all nodes (the paper's social cost)."""
-        return sum(self.all_costs(profile).values())
+        return sum(self.all_costs(profile, engine=engine).values())
 
     def node_utility(self, profile: StrategyProfile, node: Node) -> float:
         """Return the utility of ``node`` (the negative of its cost)."""

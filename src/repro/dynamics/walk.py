@@ -62,6 +62,7 @@ def _round_order(
     profile: StrategyProfile,
     rng: random.Random,
     fixed_order: Optional[Sequence[Node]],
+    engine,
 ) -> List[Node]:
     """Return the node order for one round under the chosen scheduler."""
     nodes = list(game.nodes)
@@ -74,7 +75,7 @@ def _round_order(
         rng.shuffle(order)
         return order
     if scheduler == "max_cost_first":
-        costs = game.all_costs(profile)
+        costs = game.all_costs(profile, engine=engine)
         return sorted(nodes, key=lambda node: (-costs[node], repr(node)))
     raise ValueError(f"unknown scheduler {scheduler!r}")
 
@@ -91,6 +92,7 @@ def run_best_response_walk(
     detect_cycles: bool = True,
     record_steps: bool = False,
     seed: SeedLike = None,
+    engine=None,
 ) -> WalkResult:
     """Run a best-response walk and return its trace.
 
@@ -110,6 +112,13 @@ def run_best_response_walk(
         Detect loops by hashing the configuration at round boundaries; a loop
         certifies that this walk never converges (the non-potential-game
         phenomenon of Figure 4).
+    engine:
+        Same tri-state convention as every routed entry point: ``None`` (the
+        default) uses the shared flat-array cost engine, so successive probes
+        reuse every distance row a deviation did not invalidate; ``False``
+        forces the reference dict-based oracle (the baseline of
+        ``scripts/bench_speed.py``); an explicit
+        :class:`~repro.engine.CostEngine` controls cache sharing.
     """
     game.validate_profile(initial)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
@@ -151,11 +160,11 @@ def run_best_response_walk(
                 break
             seen_rounds[key] = round_index
 
-        order = _round_order(game, scheduler, profile, rng, round_order)
+        order = _round_order(game, scheduler, profile, rng, round_order, engine)
         any_deviation = False
         stop_now = False
         for node in order:
-            result = best_response(game, profile, node)
+            result = best_response(game, profile, node, engine=engine)
             probes += 1
             if result.improved:
                 deviations += 1
@@ -205,6 +214,7 @@ def probes_to_strong_connectivity(
     *,
     round_order: Optional[Sequence[Node]] = None,
     max_rounds: Optional[int] = None,
+    engine=None,
 ) -> Optional[int]:
     """Return the number of best-response probes until strong connectivity.
 
@@ -221,5 +231,6 @@ def probes_to_strong_connectivity(
         stop_at_equilibrium=False,
         stop_at_strong_connectivity=True,
         detect_cycles=False,
+        engine=engine,
     )
     return result.strong_connectivity_probe

@@ -1,0 +1,85 @@
+"""Flat-array distance/cost engine (index + version-stamp invalidation).
+
+This subsystem is the performance core of the reproduction.  It replaces the
+per-oracle rebuild of hash-dict :class:`~repro.graphs.DiGraph` environments
+with one shared, int-indexed CSR snapshot of the profile plus caches that are
+invalidated by a version stamp instead of by reconstruction.
+
+**The index contract.**  :class:`~repro.engine.indexed.IndexedGame` maps the
+game's node labels to dense ints ``0..n-1`` exactly once, in declaration
+order, and materialises link lengths and the positive-preference target
+lists (with their weights) as flat per-node rows.  Every kernel in
+:mod:`repro.graphs.int_kernels` and every cache in
+:class:`~repro.engine.cost_engine.CostEngine` speaks ints; labels only appear
+at the public API boundary.  The mapping is immutable for the lifetime of the
+engine, so cached rows indexed by int stay meaningful across profile changes.
+
+**The version-stamp contract.**  A :class:`CostEngine` carries a
+monotonically increasing ``version``.  :meth:`CostEngine.sync` diffs the
+incoming profile against the engine's snapshot and:
+
+* *no node changed* — the version is unchanged and every cache
+  (environment-distance rows ``d_{G-u}(a, ·)``, the all-costs table) remains
+  valid, so an equilibrium check immediately after a walk, or repeated stable
+  probes within a walk, re-use every SSSP already paid for;
+* *exactly one node ``u`` changed* — the version is bumped and all cached
+  rows are dropped **except** ``u``'s own environment rows, which are
+  re-stamped to the new version: ``G - u`` never contained ``u``'s links, so
+  a local change by ``u`` cannot invalidate ``u``'s own deviation geometry;
+* *more than one node changed* — the version is bumped and all caches are
+  dropped.
+
+Consumers never invalidate caches themselves; they call ``sync`` (directly
+or through the routed entry points :func:`repro.core.best_response`,
+:func:`repro.core.equilibrium_report`, :meth:`repro.core.BBCGame.all_costs`)
+and trust the stamp.  Anything holding a pre-``sync`` artefact — e.g. a
+:class:`~repro.engine.cost_engine.StrategyScorer` — checks the stamp and
+refuses to run stale.
+
+The dict-based :class:`~repro.core.best_response.DeviationOracle` remains in
+the tree as the reference implementation; ``tests/test_engine_parity.py``
+asserts bit-identical costs and regrets between the two, and
+``scripts/bench_speed.py`` tracks the speedup.
+"""
+
+from weakref import WeakKeyDictionary
+
+from .cost_engine import CostEngine, StrategyScorer
+from .indexed import IndexedGame
+
+#: One shared engine per live game object; weak keys so games can be GC'd.
+_ENGINES: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def get_engine(game) -> CostEngine:
+    """Return the shared :class:`CostEngine` for ``game``, creating it on first use.
+
+    Sharing one engine per game is what lets independently written call sites
+    (a best-response walk followed by an equilibrium check, say) reuse each
+    other's cached distance rows whenever the profile version still matches.
+    """
+    engine = _ENGINES.get(game)
+    if engine is None:
+        engine = CostEngine(game)
+        _ENGINES[game] = engine
+    return engine
+
+
+def resolve_engine(game, engine) -> "CostEngine | None":
+    """Resolve the tri-state ``engine`` argument shared by routed entry points.
+
+    ``False`` means "use the dict-based reference path" and resolves to
+    ``None``; ``None`` resolves to the shared per-game engine; an explicit
+    :class:`CostEngine` is validated against ``game`` (see
+    :meth:`CostEngine.check_game`) and returned as-is.  Call sites fall back
+    to their own reference implementation when this returns ``None``.
+    """
+    if engine is False:
+        return None
+    if engine is None:
+        return get_engine(game)
+    engine.check_game(game)
+    return engine
+
+
+__all__ = ["CostEngine", "StrategyScorer", "IndexedGame", "get_engine", "resolve_engine"]

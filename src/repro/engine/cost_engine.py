@@ -1,0 +1,468 @@
+"""Profile-versioned flat-array cost engine.
+
+:class:`CostEngine` owns one int-indexed CSR snapshot of the current
+profile's edge set, stamped with a monotonically increasing ``version``.
+Every distance the game loop needs — environment rows ``d_{G-u}(a, ·)`` for
+deviation scoring, full-graph rows for ``all_costs`` — is computed by the
+flat kernels in :mod:`repro.graphs.int_kernels` and cached against that
+version stamp, so repeated probes of an unchanged profile (equilibrium
+checks, the stable tail of a best-response walk) pay for each SSSP at most
+once.
+
+The invalidation rule exploits locality: when :meth:`sync` observes that
+exactly one node ``u`` changed its strategy, the environment ``G - u`` is by
+definition untouched (it never contained ``u``'s links), so ``u``'s cached
+rows are re-stamped to the new version instead of recomputed, while every
+other node's rows are dropped.  A multi-node change resets everything.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.errors import InvalidProfile
+from ..core.objectives import Objective
+from ..core.profile import StrategyProfile
+from ..graphs.int_kernels import bfs_hops_csr, build_csr, dijkstra_csr, scaled_float_row
+from .indexed import IndexedGame
+
+Node = Hashable
+Row = List[float]
+
+
+class CostEngine:
+    """Flat-array distance/cost engine bound to one game.
+
+    The engine is stateful: :meth:`sync` points it at a profile (diffing
+    against the previous one), after which :meth:`cost_of`,
+    :meth:`all_costs`, and :meth:`scorer` evaluate costs against the cached
+    snapshot.  All results are bit-identical to the reference
+    :class:`~repro.core.best_response.DeviationOracle` / dict-BFS path; the
+    parity tests in ``tests/test_engine_parity.py`` enforce this.
+    """
+
+    def __init__(self, game) -> None:
+        # Only a weak back-reference to `game`: a strong one would pin the
+        # WeakKeyDictionary entry in the per-game engine registry forever.
+        self._game_ref = weakref.ref(game)
+        self.indexed = IndexedGame(game)
+        #: Bumped on every observed profile change; all caches key on it.
+        self.version = 0
+        self._strategies: Optional[List[frozenset]] = None
+        self._indptr: List[int] = [0] * (self.indexed.n + 1)
+        self._indices: List[int] = []
+        self._edge_lengths: Optional[List[float]] = None
+        # masked node u -> (version, {first hop a -> distance row})
+        self._env_cache: Dict[int, Tuple[int, Dict[int, Row]]] = {}
+        # masked node u -> (version, {first hop a -> l(u,a) + env row}); same
+        # lifecycle as _env_cache, so same-version probes of a node skip even
+        # the O(n)-per-hop through-row materialisation.
+        self._through_cache: Dict[int, Tuple[int, Dict[int, Row]]] = {}
+        # Bound on cached rows (environment rows plus derived through rows,
+        # which are the same size): a full equilibrium check wants all
+        # n*(n-1) rows live (total reuse), but at n in the hundreds that is
+        # O(n^3) floats, so cap the total and evict whole node entries
+        # oldest-first once exceeded.  The floor of 4n keeps any single
+        # probe's working set (n-1 env rows + n-1 through rows) cacheable.
+        n = self.indexed.n
+        self._max_env_rows = max(4 * n, 1_000_000 // max(n, 1))
+        self._env_rows_cached = 0
+        # Nodes whose warm through dict was already counted into rows_reused
+        # at the current version (so repeated probes do not inflate the stat).
+        self._reuse_counted: set = set()
+        # (version, {label: cost}) for the whole profile
+        self._all_costs_cache: Optional[Tuple[int, Dict[Node, float]]] = None
+        #: Cache observability: how many environment rows were computed vs
+        #: served from cache, and how each sync classified its diff.
+        self.stats: Dict[str, int] = {
+            "rows_computed": 0,
+            "rows_reused": 0,
+            "rows_evicted": 0,
+            "noop_syncs": 0,
+            "local_syncs": 0,
+            "full_syncs": 0,
+        }
+
+    def check_game(self, game) -> None:
+        """Raise ``ValueError`` when this engine was built for a different game.
+
+        Two games with the same node count but different weights or lengths
+        would otherwise sync successfully and score against the wrong
+        snapshot; call sites that accept an explicit engine guard with this.
+        """
+        if self._game_ref() is not game:
+            raise ValueError(
+                "this CostEngine was built for a different game instance; "
+                "create one with CostEngine(game) or use repro.engine.get_engine(game)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Profile synchronisation
+    # ------------------------------------------------------------------ #
+    def sync(self, profile: StrategyProfile) -> None:
+        """Point the engine at ``profile``, invalidating as little as possible.
+
+        Diffs the profile against the current snapshot: no change keeps the
+        version (full cache reuse); a single-node change bumps the version
+        but preserves that node's own environment rows (``G - u`` does not
+        contain ``u``'s links); anything larger resets all caches.
+        """
+        indexed = self.indexed
+        if len(profile) != indexed.n:
+            raise InvalidProfile("profile nodes do not match the game's node set")
+        index = indexed.index
+        try:
+            new_strategies = [
+                frozenset(index[target] for target in profile.strategy(label))
+                for label in indexed.labels
+            ]
+        except KeyError as exc:
+            raise InvalidProfile(
+                f"profile buys a link to unknown node {exc.args[0]!r}"
+            ) from exc
+
+        old_strategies = self._strategies
+        if old_strategies is not None:
+            changed = [
+                u for u in range(indexed.n) if new_strategies[u] != old_strategies[u]
+            ]
+            if not changed:
+                self.stats["noop_syncs"] += 1
+                return
+        else:
+            changed = None
+
+        self._strategies = new_strategies
+        self.version += 1
+        self._rebuild_csr()
+        self._all_costs_cache = None
+        if changed is not None and len(changed) == 1:
+            self.stats["local_syncs"] += 1
+            changed_node = changed[0]
+            kept = self._env_cache.get(changed_node)
+            kept_through = self._through_cache.get(changed_node)
+            self._env_cache.clear()
+            self._through_cache.clear()
+            self._env_rows_cached = 0
+            self._reuse_counted.clear()
+            if kept is not None:
+                self._env_cache[changed_node] = (self.version, kept[1])
+                self._env_rows_cached += len(kept[1])
+            if kept_through is not None:
+                self._through_cache[changed_node] = (self.version, kept_through[1])
+                self._env_rows_cached += len(kept_through[1])
+        else:
+            self.stats["full_syncs"] += 1
+            self._env_cache.clear()
+            self._through_cache.clear()
+            self._env_rows_cached = 0
+            self._reuse_counted.clear()
+
+    def _rebuild_csr(self) -> None:
+        indexed = self.indexed
+        strategies = self._strategies
+        rows = [sorted(strategies[u]) for u in range(indexed.n)]
+        self._indptr, self._indices = build_csr(rows)
+        if indexed.uniform_lengths:
+            self._edge_lengths = None
+        else:
+            lengths: List[float] = []
+            for u, row in enumerate(rows):
+                length_row = indexed.length_rows[u]
+                lengths.extend(length_row[v] for v in row)
+            self._edge_lengths = lengths
+
+    def _require_sync(self) -> None:
+        if self._strategies is None:
+            raise InvalidProfile("CostEngine.sync(profile) must be called first")
+
+    # ------------------------------------------------------------------ #
+    # Distance rows
+    # ------------------------------------------------------------------ #
+    def _compute_row(self, source: int, forbidden: int) -> Row:
+        indexed = self.indexed
+        if indexed.uniform_lengths:
+            hops = bfs_hops_csr(
+                self._indptr, self._indices, indexed.n, source, forbidden
+            )
+            return scaled_float_row(hops, indexed.unit_length)
+        return dijkstra_csr(
+            self._indptr,
+            self._indices,
+            self._edge_lengths,
+            indexed.n,
+            source,
+            forbidden,
+        )
+
+    def env_row(self, u: int, first_hop: int) -> Row:
+        """Return ``d_{G-u}(first_hop, ·)`` as a dense float row (``inf`` = unreachable).
+
+        Rows are cached per ``(version, u)``; within one version each first
+        hop costs at most one SSSP no matter how many strategies probe it.
+        """
+        self._require_sync()
+        entry = self._env_cache.get(u)
+        if entry is None:
+            rows: Dict[int, Row] = {}
+            self._env_cache[u] = (self.version, rows)
+        else:
+            # sync() clears or re-stamps every entry, so anything still in the
+            # cache always carries the current version.
+            rows = entry[1]
+        row = rows.get(first_hop)
+        if row is None:
+            row = self._compute_row(first_hop, forbidden=u)
+            rows[first_hop] = row
+            self.stats["rows_computed"] += 1
+            self._env_rows_cached += 1
+            if self._env_rows_cached > self._max_env_rows:
+                self._evict_env_rows(keep=u)
+        else:
+            self.stats["rows_reused"] += 1
+        return row
+
+    def _evict_env_rows(self, keep: int) -> None:
+        """Drop whole node entries, oldest-inserted first, until under the cap.
+
+        The entry for ``keep`` (the node currently being probed) is exempt so
+        an in-flight probe never evicts its own working set.
+        """
+        for node in list(self._env_cache):
+            if self._env_rows_cached <= self._max_env_rows:
+                break
+            if node == keep:
+                continue
+            _, rows = self._env_cache.pop(node)
+            through_entry = self._through_cache.pop(node, None)
+            dropped = len(rows) + (len(through_entry[1]) if through_entry else 0)
+            self._env_rows_cached -= dropped
+            self.stats["rows_evicted"] += dropped
+
+    def through_rows(self, u: int) -> Dict[int, Row]:
+        """Return the current-version through-row dict for masked node ``u``.
+
+        A through row is ``l(u, a) + d_{G-u}(a, ·)`` for one first hop ``a``;
+        scorers fill the dict lazily and, because it lives on the engine, a
+        later probe of the same node at the same version starts warm.
+        """
+        entry = self._through_cache.get(u)
+        if entry is None:
+            rows: Dict[int, Row] = {}
+            self._through_cache[u] = (self.version, rows)
+        else:
+            rows = entry[1]
+            if rows and u not in self._reuse_counted:
+                # Warm start: a later probe inherits rows a same-version
+                # predecessor already paid for.  Counted once per node per
+                # version so repeated probes do not inflate the stat.
+                self._reuse_counted.add(u)
+                self.stats["rows_reused"] += len(rows)
+        return rows
+
+    def _note_through_row(self, u: int, rows: Dict[int, Row]) -> None:
+        """Account one newly materialised through row against the memory cap.
+
+        ``rows`` is the scorer's dict; if eviction already detached it from
+        ``_through_cache`` the row lives outside the cache (garbage once the
+        scorer dies) and must not be counted, or the counter would drift above
+        the caches' real contents and thrash eviction for the whole version.
+        """
+        entry = self._through_cache.get(u)
+        if entry is None or entry[1] is not rows:
+            return
+        self._env_rows_cached += 1
+        if self._env_rows_cached > self._max_env_rows:
+            self._evict_env_rows(keep=u)
+
+    def full_row(self, u: int) -> Row:
+        """Return full-graph distances from int node ``u`` (no masking)."""
+        self._require_sync()
+        return self._compute_row(u, forbidden=-1)
+
+    # ------------------------------------------------------------------ #
+    # Cost evaluation
+    # ------------------------------------------------------------------ #
+    def scorer(self, node: Node) -> "StrategyScorer":
+        """Return a :class:`StrategyScorer` bound to ``node`` at the current version."""
+        self._require_sync()
+        try:
+            u = self.indexed.index[node]
+        except KeyError:
+            raise InvalidProfile(f"node {node!r} is not part of this game") from None
+        return StrategyScorer(self, u)
+
+    def cost_of(self, node: Node, strategy: Iterable[Node]) -> float:
+        """Return ``node``'s cost when it plays ``strategy`` (labels) against the synced profile."""
+        scorer = self.scorer(node)
+        return scorer.score(strategy)
+
+    def all_costs(self, profile: StrategyProfile) -> Dict[Node, float]:
+        """Return every node's cost under ``profile`` (cached per version)."""
+        self.sync(profile)
+        cached = self._all_costs_cache
+        if cached is not None and cached[0] == self.version:
+            return dict(cached[1])
+        indexed = self.indexed
+        costs = {
+            label: self._aggregate_row(u, self.full_row(u))
+            for u, label in enumerate(indexed.labels)
+        }
+        self._all_costs_cache = (self.version, costs)
+        return dict(costs)
+
+    def social_cost(self, profile: StrategyProfile) -> float:
+        """Return the total cost over all nodes under ``profile``."""
+        return sum(self.all_costs(profile).values())
+
+    def _aggregate_row(self, u: int, row: Row) -> float:
+        indexed = self.indexed
+        targets = indexed.target_rows[u]
+        weights = indexed.target_weight_rows[u]
+        penalty = indexed.penalty
+        inf = math.inf
+        if indexed.objective is Objective.SUM:
+            total = 0.0
+            for t, w in zip(targets, weights):
+                d = row[t]
+                total += w * (d if d < inf else penalty)
+            return total
+        if not targets:
+            return 0.0
+        worst = -inf
+        for t, w in zip(targets, weights):
+            d = row[t]
+            value = w * (d if d < inf else penalty)
+            if value > worst:
+                worst = value
+        return float(worst)
+
+
+class StrategyScorer:
+    """Fast repeated scoring of candidate strategies for one node.
+
+    Bound to one ``(engine, version, node)``; per candidate first hop ``a``
+    it lazily materialises the *through* row ``l(u, a) + d_{G-u}(a, ·)`` so
+    that scoring a strategy is nothing but elementwise mins over cached
+    lists.  Invalid to use after the engine syncs to a different profile.
+    """
+
+    __slots__ = (
+        "engine",
+        "u",
+        "index",
+        "targets",
+        "weights",
+        "penalty",
+        "is_sum",
+        "unit_weights",
+        "identity_labels",
+        "_length_row",
+        "_through",
+        "_version",
+    )
+
+    def __init__(self, engine: CostEngine, u: int) -> None:
+        self.engine = engine
+        self.u = u
+        indexed = engine.indexed
+        self.index = indexed.index
+        self.targets = indexed.target_rows[u]
+        self.weights = indexed.target_weight_rows[u]
+        self.penalty = indexed.penalty
+        self.is_sum = indexed.objective is Objective.SUM
+        # Multiplying by an exact 1.0 weight is the identity, so the unit-weight
+        # fast path below stays bit-identical to the reference oracle.
+        self.unit_weights = all(w == 1.0 for w in self.weights)
+        self.identity_labels = indexed.identity_labels
+        self._length_row = indexed.length_rows[u]
+        self._through = engine.through_rows(u)
+        self._version = engine.version
+
+    def _through_row(self, first_hop: int) -> Row:
+        row = self._through.get(first_hop)
+        if row is None:
+            hop_length = self._length_row[first_hop]
+            env = self.engine.env_row(self.u, first_hop)
+            row = [hop_length + d for d in env]
+            self._through[first_hop] = row
+            self.engine._note_through_row(self.u, self._through)
+        return row
+
+    def score(self, strategy: Iterable[Node]) -> float:
+        """Return the node's cost for a strategy given as node *labels*."""
+        if self.identity_labels:
+            return self.score_ints(strategy)
+        index = self.index
+        return self.score_ints([index[target] for target in strategy])
+
+    def score_ints(self, strategy: Iterable[int]) -> float:
+        """Return the node's cost for a strategy given as dense int ids."""
+        if self._version != self.engine.version:
+            raise InvalidProfile("scorer is stale: the engine synced to a new profile")
+        through = self._through
+        rows = []
+        for a in strategy:
+            row = through.get(a)
+            if row is None:
+                row = self._through_row(a)
+            rows.append(row)
+        targets = self.targets
+        weights = self.weights
+        penalty = self.penalty
+        inf = math.inf
+        num_rows = len(rows)
+        if self.is_sum:
+            total = 0.0
+            if num_rows == 2:
+                row_a, row_b = rows
+                if self.unit_weights:
+                    for t in targets:
+                        da = row_a[t]
+                        db = row_b[t]
+                        d = da if da < db else db
+                        total += d if d < inf else penalty
+                else:
+                    for t, w in zip(targets, weights):
+                        da = row_a[t]
+                        db = row_b[t]
+                        d = da if da < db else db
+                        total += w * (d if d < inf else penalty)
+            elif num_rows == 1:
+                row = rows[0]
+                if self.unit_weights:
+                    for t in targets:
+                        d = row[t]
+                        total += d if d < inf else penalty
+                else:
+                    for t, w in zip(targets, weights):
+                        d = row[t]
+                        total += w * (d if d < inf else penalty)
+            elif num_rows == 0:
+                for w in weights:
+                    total += w * penalty
+            else:
+                for t, w in zip(targets, weights):
+                    best = inf
+                    for row in rows:
+                        d = row[t]
+                        if d < best:
+                            best = d
+                    total += w * (best if best < inf else penalty)
+            return total
+        # MAX objective.
+        if not targets:
+            return 0.0
+        worst = -inf
+        for t, w in zip(targets, weights):
+            best = inf
+            for row in rows:
+                d = row[t]
+                if d < best:
+                    best = d
+            value = w * (best if best < inf else penalty)
+            if value > worst:
+                worst = value
+        return float(worst)

@@ -1,0 +1,89 @@
+"""Dense int-indexed view of a :class:`~repro.core.game.BBCGame`.
+
+Game parameters live in sparse ``{(label, label): value}`` dicts with default
+fallbacks, which is the right representation for *defining* games but makes
+every hot-loop access a tuple construction plus a dict probe.
+:class:`IndexedGame` materialises what the hot loops actually read — link
+lengths plus each node's positive-preference targets and their weights — once
+into flat per-node rows indexed by dense ints, so the cost engine's inner
+loops are plain list lookups.
+
+The mapping is fixed at construction: ``labels[i]`` is the label of int node
+``i`` and ``index[label]`` inverts it.  Declaration order is preserved, which
+keeps engine results deterministic and aligned with the reference
+:class:`~repro.core.best_response.DeviationOracle`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.game import BBCGame
+from ..core.objectives import Objective
+
+Node = Hashable
+
+
+class IndexedGame:
+    """Flat-array snapshot of a game's parameters (labels mapped to ints)."""
+
+    __slots__ = (
+        "labels",
+        "index",
+        "n",
+        "length_rows",
+        "target_rows",
+        "target_weight_rows",
+        "penalty",
+        "objective",
+        "uniform_lengths",
+        "unit_length",
+        "identity_labels",
+    )
+
+    def __init__(self, game: BBCGame) -> None:
+        # Deliberately no back-reference to `game`: the engine registry keys a
+        # WeakKeyDictionary by the game object, and holding it here would keep
+        # the key alive forever.
+        self.labels: Tuple[Node, ...] = game.nodes
+        self.index: Dict[Node, int] = {label: i for i, label in enumerate(self.labels)}
+        self.n = len(self.labels)
+        self.penalty = game.disconnection_penalty
+        self.objective: Objective = game.objective
+        self.uniform_lengths = game.has_uniform_lengths
+        # For uniform-length games every length equals the maximum, which is
+        # exactly the scale factor DeviationOracle applies to BFS hop counts.
+        self.unit_length = game.max_link_length()
+
+        self.length_rows: List[List[float]] = []
+        self.target_rows: List[List[int]] = []
+        self.target_weight_rows: List[List[float]] = []
+        for u, source in enumerate(self.labels):
+            weights = [game.weight(source, target) for target in self.labels]
+            weights[u] = 0.0
+            self.length_rows.append(
+                [game.link_length(source, target) for target in self.labels]
+            )
+            targets = [v for v, w in enumerate(weights) if v != u and w > 0]
+            self.target_rows.append(targets)
+            self.target_weight_rows.append([weights[v] for v in targets])
+        # When labels already are 0..n-1 (every uniform game), label->int
+        # translation is the identity and scorers can skip it entirely.  The
+        # type check matters: floats/bools numerically equal to 0..n-1 would
+        # pass the == test but cannot index the flat rows.
+        self.identity_labels = all(
+            type(label) is int for label in self.labels
+        ) and self.labels == tuple(range(self.n))
+
+    def to_ints(self, labels) -> List[int]:
+        """Map an iterable of node labels to their dense int ids."""
+        index = self.index
+        return [index[label] for label in labels]
+
+    def to_labels(self, ints) -> List[Node]:
+        """Map dense int ids back to node labels."""
+        labels = self.labels
+        return [labels[i] for i in ints]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexedGame(n={self.n}, objective={self.objective.value})"

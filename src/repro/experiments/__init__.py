@@ -2,6 +2,7 @@
 
 from .dynamics_study import (
     empty_start_convergence_study,
+    engine_reuse_study,
     max_cost_first_convergence_study,
     scheduler_comparison_study,
 )
@@ -24,4 +25,5 @@ __all__ = [
     "max_cost_first_convergence_study",
     "empty_start_convergence_study",
     "scheduler_comparison_study",
+    "engine_reuse_study",
 ]

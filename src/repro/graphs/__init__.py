@@ -37,6 +37,13 @@ from .errors import (
     NodeNotFound,
 )
 from .flow import FlowNetwork, min_cost_unit_flow_cost
+from .int_kernels import (
+    UNREACHED,
+    bfs_hops_csr,
+    build_csr,
+    dijkstra_csr,
+    scaled_float_row,
+)
 from .generators import (
     complete_graph,
     complete_kary_out_tree,
@@ -93,6 +100,11 @@ __all__ = [
     "dijkstra_distances",
     "dijkstra_distances_weighted_adjacency",
     "dijkstra_path",
+    "UNREACHED",
+    "build_csr",
+    "bfs_hops_csr",
+    "dijkstra_csr",
+    "scaled_float_row",
     "all_pairs_hop_distances",
     "all_pairs_weighted_distances",
     "floyd_warshall",

@@ -83,6 +83,10 @@ def dijkstra_path(
     """Return ``(distance, path)`` for one shortest path, or ``None``.
 
     ``None`` is returned when ``target`` is unreachable from ``source``.
+    Tight-edge predecessors are tracked during the main loop (the parent of a
+    node is updated whenever a strictly better tentative distance is pushed),
+    so the path falls out of a single backward walk with no extra traversal
+    or graph copy.
     """
     if not graph.has_node(source):
         raise NodeNotFound(source)
@@ -90,6 +94,7 @@ def dijkstra_path(
         raise NodeNotFound(target)
     dist: Dict[Node, _Number] = {}
     parent: Dict[Node, Optional[Node]] = {source: None}
+    best_seen: Dict[Node, _Number] = {source: 0}
     heap: List[Tuple[_Number, int, Node]] = [(0, 0, source)]
     counter = 0
     while heap:
@@ -106,42 +111,15 @@ def dijkstra_path(
             if length < 0:
                 raise NegativeEdgeLength(node, nxt, length)
             candidate = d + length
-            counter += 1
-            heapq.heappush(heap, (candidate, counter, nxt))
-            if nxt not in parent or candidate < dist.get(nxt, float("inf")):
-                parent.setdefault(nxt, node)
+            if candidate < best_seen.get(nxt, float("inf")):
+                best_seen[nxt] = candidate
+                parent[nxt] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, nxt))
     if target not in dist:
         return None
-    # Rebuild the path by walking a shortest-path tree computed from scratch;
-    # the parent map above is only a heuristic seed, so recompute carefully.
-    path = _reconstruct_path(graph, source, target, dist, length_attr, default_length)
-    return dist[target], path
-
-
-def _reconstruct_path(
-    graph: DiGraph,
-    source: Node,
-    target: Node,
-    dist: Dict[Node, _Number],
-    length_attr: str,
-    default_length: _Number,
-) -> List[Node]:
-    """Walk backwards from ``target`` along tight edges to recover a path."""
-    reverse = graph.reverse()
-    path = [target]
-    node = target
-    while node != source:
-        found_predecessor = False
-        for prev, data in reverse.successor_items(node):
-            if prev not in dist:
-                continue
-            length = data.get(length_attr, default_length)
-            if abs(dist[prev] + length - dist[node]) < 1e-12:
-                path.append(prev)
-                node = prev
-                found_predecessor = True
-                break
-        if not found_predecessor:  # pragma: no cover - defensive
-            raise RuntimeError("failed to reconstruct shortest path")
+    path: List[Node] = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
     path.reverse()
-    return path
+    return dist[target], path

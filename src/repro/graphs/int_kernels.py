@@ -1,0 +1,126 @@
+"""Flat-array shortest-path kernels over int-indexed CSR adjacency.
+
+The dict-based BFS/Dijkstra in :mod:`repro.graphs.bfs` and
+:mod:`repro.graphs.dijkstra` operate on arbitrary hashable node labels and
+per-edge attribute dictionaries, which is convenient but slow in the game
+engine's hot path (one SSSP per candidate first hop per probed node).  The
+kernels here assume nodes have already been mapped to dense ints ``0..n-1``
+and the graph packed into CSR arrays, so the inner loops touch nothing but
+flat lists:
+
+* ``build_csr`` packs per-node successor lists into ``(indptr, indices)``;
+* ``bfs_hops_csr`` returns hop counts as a dense list (``-1`` = unreachable);
+* ``dijkstra_csr`` returns weighted distances (``inf`` = unreachable) using a
+  heap of plain ``(dist, node)`` pairs — ints always compare, so no tiebreak
+  counter is needed — and edge lengths aligned with ``indices`` instead of
+  per-edge attribute-dict lookups.
+
+Both traversals accept a ``forbidden`` node that is never entered, which lets
+:class:`repro.engine.CostEngine` compute ``d_{G-u}`` distances by masking
+``u`` out of the *shared* profile snapshot instead of rebuilding a per-oracle
+environment graph.
+
+Edge lengths are assumed non-negative; game construction validates this
+(:meth:`repro.core.game.BBCGame._validate_tables`), so the kernels skip the
+check to keep the loop tight.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from heapq import heappop, heappush
+from typing import List, Sequence, Tuple
+
+#: Sentinel for unreachable nodes in :func:`bfs_hops_csr` results.
+UNREACHED = -1
+
+
+def build_csr(successor_rows: Sequence[Sequence[int]]) -> Tuple[List[int], List[int]]:
+    """Pack per-node successor lists into CSR ``(indptr, indices)`` arrays.
+
+    ``successor_rows[u]`` lists the int successors of node ``u``; the edges of
+    ``u`` occupy ``indices[indptr[u]:indptr[u + 1]]``.
+    """
+    indptr = [0]
+    indices: List[int] = []
+    for successors in successor_rows:
+        indices.extend(successors)
+        indptr.append(len(indices))
+    return indptr, indices
+
+
+def bfs_hops_csr(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    n: int,
+    source: int,
+    forbidden: int = -1,
+) -> List[int]:
+    """Return hop counts from ``source`` as a dense list of length ``n``.
+
+    Unreachable nodes hold :data:`UNREACHED`.  When ``forbidden`` is a valid
+    node id it is never entered, yielding distances in the graph with that
+    node deleted; ``forbidden == source`` is contradictory and rejected.
+    """
+    if forbidden == source:
+        raise ValueError("the BFS source cannot be the forbidden node")
+    dist = [UNREACHED] * n
+    if 0 <= forbidden < n:
+        dist[forbidden] = n + 1  # non-negative: blocks the visit test below
+    dist[source] = 0
+    queue: deque = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_hop = dist[node] + 1
+        for head in indices[indptr[node] : indptr[node + 1]]:
+            if dist[head] < 0:
+                dist[head] = next_hop
+                queue.append(head)
+    if 0 <= forbidden < n:
+        dist[forbidden] = UNREACHED
+    return dist
+
+
+def dijkstra_csr(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    lengths: Sequence[float],
+    n: int,
+    source: int,
+    forbidden: int = -1,
+) -> List[float]:
+    """Return weighted distances from ``source`` as a dense list of length ``n``.
+
+    ``lengths`` is aligned with ``indices`` (edge ``indices[i]`` has length
+    ``lengths[i]``).  Unreachable nodes hold ``inf``; ``forbidden`` (if any)
+    is never entered and reports ``inf``; ``forbidden == source`` is
+    contradictory and rejected.
+    """
+    if forbidden == source:
+        raise ValueError("the Dijkstra source cannot be the forbidden node")
+    dist = [math.inf] * n
+    done = [False] * n
+    if 0 <= forbidden < n:
+        done[forbidden] = True
+    heap: List[Tuple[float, int]] = [(0, source)]
+    while heap:
+        d, node = heappop(heap)
+        if done[node]:
+            continue
+        done[node] = True
+        dist[node] = d
+        for offset in range(indptr[node], indptr[node + 1]):
+            head = indices[offset]
+            if not done[head]:
+                heappush(heap, (d + lengths[offset], head))
+    return dist
+
+
+def scaled_float_row(hops: Sequence[int], unit: float) -> List[float]:
+    """Convert a BFS hop row into floats scaled by ``unit`` (``inf`` = unreachable).
+
+    The scaling mirrors how the dict-based engine converts hop counts into
+    lengths (``float(hops) * unit``) so results stay bit-identical.
+    """
+    return [float(h) * unit if h >= 0 else math.inf for h in hops]

@@ -1,0 +1,456 @@
+"""Parity tests: the flat-array engine must agree *exactly* with the reference.
+
+The :class:`~repro.engine.CostEngine` replaces the dict-based
+:class:`~repro.core.best_response.DeviationOracle` and dict BFS/Dijkstra in
+every hot path, so these tests assert bit-identical costs, regrets, chosen
+strategies, and evaluation counts between the two implementations — on random
+uniform and non-uniform games, disconnected profiles (the penalty path), and
+MAX-objective games — plus direct kernel-vs-dict-traversal agreement and the
+version-stamp invalidation contract.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BBCGame,
+    Objective,
+    StrategyProfile,
+    UniformBBCGame,
+    best_response,
+    equilibrium_report,
+    greedy_response,
+    random_profile,
+    single_swap_response,
+)
+from repro.core.best_response import DeviationOracle
+from repro.dynamics import run_best_response_walk
+from repro.engine import CostEngine, get_engine
+from repro.graphs import (
+    DiGraph,
+    bfs_distances,
+    bfs_hops_csr,
+    build_csr,
+    dijkstra_csr,
+    dijkstra_distances,
+    random_digraph,
+)
+
+
+def random_weighted_game(seed, n=6, objective=Objective.SUM):
+    """A non-uniform game with sparse weights and varied lengths/costs/budgets."""
+    rng = random.Random(seed)
+    weights, lengths, costs = {}, {}, {}
+    for u in range(n):
+        for v in range(n):
+            if u != v:
+                if rng.random() < 0.6:
+                    weights[(u, v)] = float(rng.randint(1, 3))
+                lengths[(u, v)] = float(rng.randint(1, 4))
+                costs[(u, v)] = float(rng.choice([1, 1, 2]))
+    budgets = {u: float(rng.randint(1, 3)) for u in range(n)}
+    return BBCGame(
+        nodes=range(n),
+        weights=weights,
+        link_lengths=lengths,
+        link_costs=costs,
+        budgets=budgets,
+        default_weight=0.0,
+        objective=objective,
+    )
+
+
+def assert_result_parity(reference, engine_result):
+    assert engine_result.best_cost == reference.best_cost
+    assert engine_result.current_cost == reference.current_cost
+    assert engine_result.best_strategy == reference.best_strategy
+    assert engine_result.evaluated == reference.evaluated
+    assert engine_result.improved == reference.improved
+    assert engine_result.regret == reference.regret
+
+
+# --------------------------------------------------------------------- #
+# Kernel-level parity
+# --------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12))
+def test_bfs_kernel_matches_dict_bfs(seed, n):
+    graph = random_digraph(n, 0.3, seed=seed)
+    rows = [sorted(graph.successors(u)) for u in range(n)]
+    indptr, indices = build_csr(rows)
+    for source in range(n):
+        reference = bfs_distances(graph, source)
+        flat = bfs_hops_csr(indptr, indices, n, source)
+        assert {v: d for v, d in enumerate(flat) if d >= 0} == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12), masked=st.integers(0, 11))
+def test_masked_bfs_matches_bfs_on_deleted_node(seed, n, masked):
+    masked %= n
+    graph = random_digraph(n, 0.3, seed=seed)
+    rows = [sorted(graph.successors(u)) for u in range(n)]
+    indptr, indices = build_csr(rows)
+    deleted = graph.copy()
+    deleted.remove_node(masked)
+    for source in range(n):
+        if source == masked:
+            continue
+        reference = bfs_distances(deleted, source)
+        flat = bfs_hops_csr(indptr, indices, n, source, forbidden=masked)
+        assert {v: d for v, d in enumerate(flat) if d >= 0} == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 10), masked=st.integers(0, 9))
+def test_dijkstra_kernel_matches_dict_dijkstra(seed, n, masked):
+    masked %= n
+    rng = random.Random(seed)
+    graph = DiGraph()
+    graph.add_nodes_from(range(n))
+    rows = [[] for _ in range(n)]
+    lengths = []
+    for u in range(n):
+        for v in sorted(rng.sample(range(n), rng.randint(0, n - 1))):
+            if u != v:
+                length = float(rng.randint(0, 5))
+                graph.add_edge(u, v, length=length)
+                rows[u].append(v)
+    indptr, indices = build_csr(rows)
+    for u in range(n):
+        row = rows[u]
+        lengths.extend(graph.edge_data(u, v)["length"] for v in row)
+    deleted = graph.copy()
+    deleted.remove_node(masked)
+    for source in range(n):
+        reference = dijkstra_distances(graph, source)
+        flat = dijkstra_csr(indptr, indices, lengths, n, source)
+        assert {v: d for v, d in enumerate(flat) if d < math.inf} == reference
+        if source != masked:
+            reference_masked = dijkstra_distances(deleted, source)
+            flat_masked = dijkstra_csr(indptr, indices, lengths, n, source, forbidden=masked)
+            assert {
+                v: d for v, d in enumerate(flat_masked) if d < math.inf
+            } == reference_masked
+
+
+# --------------------------------------------------------------------- #
+# Engine vs DeviationOracle
+# --------------------------------------------------------------------- #
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000), n=st.integers(5, 9), k=st.integers(1, 3))
+def test_best_response_parity_uniform(seed, n, k):
+    if k >= n:
+        k = n - 1
+    game = UniformBBCGame(n, k)
+    profile = random_profile(game, seed=seed)
+    engine = CostEngine(game)
+    for node in game.nodes:
+        reference = best_response(game, profile, node, engine=False)
+        routed = best_response(game, profile, node, engine=engine)
+        assert_result_parity(reference, routed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_best_response_parity_non_uniform(seed):
+    game = random_weighted_game(seed)
+    profile = random_profile(game, seed=seed)
+    engine = CostEngine(game)
+    for node in game.nodes:
+        reference = best_response(game, profile, node, engine=False)
+        routed = best_response(game, profile, node, engine=engine)
+        assert_result_parity(reference, routed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_best_response_parity_max_objective(seed):
+    uniform = UniformBBCGame(7, 2, objective=Objective.MAX)
+    weighted = random_weighted_game(seed, objective=Objective.MAX)
+    for game in (uniform, weighted):
+        profile = random_profile(game, seed=seed)
+        engine = CostEngine(game)
+        for node in game.nodes:
+            reference = best_response(game, profile, node, engine=False)
+            routed = best_response(game, profile, node, engine=engine)
+            assert_result_parity(reference, routed)
+
+
+def test_parity_on_disconnected_profile_penalty_path():
+    for game in (UniformBBCGame(6, 2), UniformBBCGame(6, 2, objective=Objective.MAX)):
+        profile = game.empty_profile()
+        engine = CostEngine(game)
+        engine.sync(profile)
+        for node in game.nodes:
+            oracle = DeviationOracle(game, profile, node)
+            assert engine.cost_of(node, profile.strategy(node)) == oracle.cost_of(
+                profile.strategy(node)
+            )
+            assert_result_parity(
+                best_response(game, profile, node, engine=False),
+                best_response(game, profile, node, engine=engine),
+            )
+        # Every node is disconnected from every target, so the current cost is
+        # exactly (n - 1) * M under SUM and M under MAX.
+        cost = engine.cost_of(0, frozenset())
+        expected = game.disconnection_penalty * (
+            (game.num_nodes - 1) if game.objective is Objective.SUM else 1
+        )
+        assert cost == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_cost_of_matches_oracle_on_arbitrary_strategies(seed):
+    rng = random.Random(seed)
+    game = random_weighted_game(seed)
+    profile = random_profile(game, seed=seed)
+    engine = CostEngine(game)
+    engine.sync(profile)
+    for node in game.nodes:
+        oracle = DeviationOracle(game, profile, node)
+        others = [v for v in game.nodes if v != node]
+        for _ in range(5):
+            strategy = frozenset(rng.sample(others, rng.randint(0, len(others))))
+            assert engine.cost_of(node, strategy) == oracle.cost_of(strategy)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_greedy_and_single_swap_parity(seed):
+    game = random_weighted_game(seed)
+    profile = random_profile(game, seed=seed)
+    engine = CostEngine(game)
+    for node in game.nodes:
+        assert_result_parity(
+            greedy_response(game, profile, node, engine=False),
+            greedy_response(game, profile, node, engine=engine),
+        )
+        assert_result_parity(
+            single_swap_response(game, profile, node, engine=False),
+            single_swap_response(game, profile, node, engine=engine),
+        )
+
+
+def test_equilibrium_report_parity():
+    game = UniformBBCGame(8, 2)
+    profile = random_profile(game, seed=42)
+    reference = equilibrium_report(game, profile, engine=False)
+    routed = equilibrium_report(game, profile)
+    assert routed.is_equilibrium == reference.is_equilibrium
+    assert routed.max_regret == reference.max_regret
+    for node in game.nodes:
+        assert_result_parity(reference.responses[node], routed.responses[node])
+
+
+def test_all_costs_and_social_cost_parity():
+    for seed in (0, 1, 2):
+        for game in (
+            UniformBBCGame(7, 2),
+            random_weighted_game(seed),
+            random_weighted_game(seed, objective=Objective.MAX),
+        ):
+            profile = random_profile(game, seed=seed)
+            assert game.all_costs(profile) == game.all_costs(profile, engine=False)
+            assert game.social_cost(profile) == game.social_cost(profile, engine=False)
+        # Disconnected profiles exercise the penalty substitution.
+        game = UniformBBCGame(6, 2)
+        empty = game.empty_profile()
+        assert game.all_costs(empty) == game.all_costs(empty, engine=False)
+
+
+def test_walk_parity_engine_vs_reference():
+    game = UniformBBCGame(7, 2)
+    from repro.experiments.workloads import random_initial_profile
+
+    initial = random_initial_profile(game, seed=9)
+    routed = run_best_response_walk(game, initial, max_rounds=20, record_steps=True)
+    reference = run_best_response_walk(
+        game, initial, max_rounds=20, record_steps=True, engine=False
+    )
+    assert routed.final_profile == reference.final_profile
+    assert routed.probes == reference.probes
+    assert routed.deviations == reference.deviations
+    assert routed.reached_equilibrium == reference.reached_equilibrium
+    assert [s.node for s in routed.steps] == [s.node for s in reference.steps]
+    assert [s.new_cost for s in routed.steps] == [s.new_cost for s in reference.steps]
+
+
+# --------------------------------------------------------------------- #
+# Version-stamp invalidation contract
+# --------------------------------------------------------------------- #
+def test_sync_is_noop_for_identical_profile():
+    game = UniformBBCGame(6, 2)
+    profile = random_profile(game, seed=3)
+    engine = CostEngine(game)
+    engine.sync(profile)
+    version = engine.version
+    engine.sync(StrategyProfile({node: profile.strategy(node) for node in game.nodes}))
+    assert engine.version == version
+
+
+def test_single_node_change_preserves_that_nodes_rows():
+    game = UniformBBCGame(6, 2)
+    profile = random_profile(game, seed=3)
+    engine = CostEngine(game)
+    engine.sync(profile)
+    node = 2
+    # Warm node 2's environment rows, then change only node 2's strategy.
+    engine.cost_of(node, profile.strategy(node))
+    kept_rows = engine._env_cache[node][1]
+    version = engine.version
+    current = profile.strategy(node)
+    replacement = frozenset({0, 1}) if current != frozenset({0, 1}) else frozenset({0, 3})
+    deviated = profile.with_strategy(node, replacement)
+    engine.sync(deviated)
+    assert engine.version == version + 1
+    assert engine._env_cache.get(node) == (engine.version, kept_rows)
+    # The preserved rows must still be correct: compare against a cold engine.
+    cold = CostEngine(game)
+    cold.sync(deviated)
+    for other in game.nodes:
+        assert engine.cost_of(other, deviated.strategy(other)) == cold.cost_of(
+            other, deviated.strategy(other)
+        )
+
+
+def test_multi_node_change_clears_caches_but_stays_correct():
+    game = UniformBBCGame(6, 2)
+    first = random_profile(game, seed=1)
+    second = random_profile(game, seed=2)
+    engine = CostEngine(game)
+    engine.sync(first)
+    for node in game.nodes:
+        engine.cost_of(node, first.strategy(node))
+    engine.sync(second)
+    cold = CostEngine(game)
+    for node in game.nodes:
+        reference = best_response(game, second, node, engine=cold)
+        assert_result_parity(reference, best_response(game, second, node, engine=engine))
+
+
+def test_stale_scorer_refuses_to_run():
+    game = UniformBBCGame(5, 2)
+    profile = random_profile(game, seed=0)
+    engine = CostEngine(game)
+    engine.sync(profile)
+    scorer = engine.scorer(0)
+    engine.sync(profile.with_strategy(0, frozenset({1, 2})))
+    from repro.core.errors import InvalidProfile
+
+    with pytest.raises(InvalidProfile):
+        scorer.score_ints([1, 2])
+
+
+def test_equilibrium_check_after_converged_walk_recomputes_nothing():
+    from repro.experiments import engine_reuse_study
+
+    rows = engine_reuse_study(8, 2, max_rounds=40, seed=5)
+    row = rows[0]
+    if row["walk_converged"]:
+        # The walk's final stable round probed every node against the final
+        # profile; the equilibrium check probes the same nodes against the
+        # same profile, so every environment row must come from cache.
+        assert row["rows_computed_during_check"] == 0
+        assert row["is_equilibrium"]
+    assert row["rows_reused"] > 0
+    assert row["full_syncs"] == 1  # only the initial profile load
+
+
+def test_shared_engine_is_per_game_and_reused():
+    game = UniformBBCGame(5, 2)
+    assert get_engine(game) is get_engine(game)
+    other = UniformBBCGame(5, 2)
+    assert get_engine(game) is not get_engine(other)
+
+
+def test_env_row_cache_is_bounded_and_eviction_preserves_correctness():
+    game = UniformBBCGame(8, 2)
+    profile = random_profile(game, seed=6)
+    engine = CostEngine(game)
+    engine.sync(profile)
+    engine._max_env_rows = 10  # force eviction: each node's probe wants 7 rows
+    reference = CostEngine(game)
+    for node in game.nodes:
+        assert_result_parity(
+            best_response(game, profile, node, engine=reference),
+            best_response(game, profile, node, engine=engine),
+        )
+        # Cap + the exempt in-flight node's working set (env + through rows).
+        assert engine._env_rows_cached <= 10 + 2 * 7
+    assert engine.stats["rows_evicted"] > 0
+    # Invariant: the counter matches the caches' actual contents.
+    assert engine._env_rows_cached == sum(
+        len(rows) for _, rows in engine._env_cache.values()
+    ) + sum(len(rows) for _, rows in engine._through_cache.values())
+
+
+def test_float_labels_do_not_take_the_int_fast_path():
+    # [0.0, 1.0, 2.0] == (0, 1, 2) in Python, but floats cannot index the
+    # engine's flat rows; the identity fast path must require real ints.
+    game = BBCGame(nodes=[0.0, 1.0, 2.0], default_budget=1.0)
+    profile = random_profile(game, seed=0)
+    for node in game.nodes:
+        assert_result_parity(
+            best_response(game, profile, node, engine=False),
+            best_response(game, profile, node),
+        )
+
+
+def test_eviction_of_live_scorer_dict_does_not_corrupt_the_counter():
+    game = UniformBBCGame(8, 2)
+    profile = random_profile(game, seed=6)
+    engine = CostEngine(game)
+    engine.sync(profile)
+    engine._max_env_rows = 10
+    # Interleave two live scorers so eviction detaches one's through dict
+    # while it keeps materialising rows.
+    scorer_a = engine.scorer(0)
+    scorer_b = engine.scorer(1)
+    others = [v for v in game.nodes]
+    for target in others:
+        if target != 0:
+            scorer_a.score_ints([target])
+        if target != 1:
+            scorer_b.score_ints([target])
+    assert engine._env_rows_cached == sum(
+        len(rows) for _, rows in engine._env_cache.values()
+    ) + sum(len(rows) for _, rows in engine._through_cache.values())
+
+
+def test_explicit_engine_for_wrong_game_is_rejected():
+    game_a = UniformBBCGame(6, 2)
+    game_b = UniformBBCGame(6, 2)  # same shape, independent instance
+    profile = random_profile(game_b, seed=0)
+    engine_a = CostEngine(game_a)
+    with pytest.raises(ValueError):
+        best_response(game_b, profile, 0, engine=engine_a)
+    with pytest.raises(ValueError):
+        game_b.all_costs(profile, engine=engine_a)
+
+
+def test_kernels_reject_forbidden_source():
+    indptr, indices = build_csr([[1], [0]])
+    with pytest.raises(ValueError):
+        bfs_hops_csr(indptr, indices, 2, 0, forbidden=0)
+    with pytest.raises(ValueError):
+        dijkstra_csr(indptr, indices, [1.0, 1.0], 2, 0, forbidden=0)
+
+
+def test_engine_registry_does_not_leak_dead_games():
+    import gc
+
+    from repro.engine import _ENGINES
+
+    game = UniformBBCGame(5, 2)
+    get_engine(game)
+    baseline = len(_ENGINES)
+    # The engine must not hold a strong reference back to the game, or the
+    # weak-keyed registry entry (and its O(n^2) IndexedGame) lives forever.
+    del game
+    gc.collect()
+    assert len(_ENGINES) == baseline - 1
