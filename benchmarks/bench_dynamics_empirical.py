@@ -4,16 +4,27 @@ from conftest import save_table
 
 from repro.analysis import format_table
 from repro.experiments import (
+    default_processes,
     empty_start_convergence_study,
     max_cost_first_convergence_study,
     scheduler_comparison_study,
 )
 
+# Walk starts are independent cells; fan them across processes (rows are
+# identical at any count).
+PROCESSES = default_processes()
+
 
 def run_dynamics():
-    random_starts = max_cost_first_convergence_study(8, 2, num_starts=6, max_rounds=50, seed=0)
-    empty_starts = empty_start_convergence_study([6, 8, 10], k=2, max_rounds=80)
-    schedulers = scheduler_comparison_study(8, 2, num_starts=4, max_rounds=50, seed=1)
+    random_starts = max_cost_first_convergence_study(
+        8, 2, num_starts=6, max_rounds=50, seed=0, processes=PROCESSES
+    )
+    empty_starts = empty_start_convergence_study(
+        [6, 8, 10], k=2, max_rounds=80, processes=PROCESSES
+    )
+    schedulers = scheduler_comparison_study(
+        8, 2, num_starts=4, max_rounds=50, seed=1, processes=PROCESSES
+    )
     return random_starts, empty_starts, schedulers
 
 

@@ -8,10 +8,17 @@ the reference :class:`~repro.core.best_response.DeviationOracle` path
 ``benchmarks/output/BENCH_speed.json`` as a machine-readable trajectory for
 future PRs, plus a rendered table in ``BENCH_speed.txt``.
 
+``--sweep`` runs the sweep-engine scenarios instead — exhaustive equilibrium
+search (n = 7, k = 2 uniform, Gray order + incremental checks vs a
+from-scratch check per profile), the Figure 4 completion scan, and one
+process-parallel study grid — and merges them into the same JSON under
+``sweep_results``, preserving whatever the other mode last wrote.
+
 Usage::
 
-    PYTHONPATH=src python scripts/bench_speed.py            # full run
-    PYTHONPATH=src python scripts/bench_speed.py --smoke    # seconds, CI-friendly
+    PYTHONPATH=src python scripts/bench_speed.py                    # core scenarios
+    PYTHONPATH=src python scripts/bench_speed.py --sweep            # sweep scenarios
+    PYTHONPATH=src python scripts/bench_speed.py --smoke [--sweep]  # seconds, CI-friendly
 
 The reference path is skipped above ``--max-reference-n`` (default 32: at
 n = 64 the dict-based oracle takes minutes for no extra information — the
@@ -20,6 +27,7 @@ speedup trend is already established).
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -28,9 +36,18 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core import UniformBBCGame, equilibrium_report  # noqa: E402
-from repro.dynamics import run_best_response_walk  # noqa: E402
+from repro.core import (  # noqa: E402
+    UniformBBCGame,
+    equilibrium_report,
+    exhaustive_equilibrium_search,
+)
+from repro.core.search import candidate_strategy_sets  # noqa: E402
+from repro.dynamics import reconstruct_figure4, run_best_response_walk  # noqa: E402
 from repro.engine import CostEngine  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    default_processes,
+    max_cost_first_convergence_study,
+)
 from repro.experiments.workloads import (  # noqa: E402
     empty_initial_profile,
     random_initial_profile,
@@ -40,6 +57,9 @@ OUTPUT_DIR = REPO_ROOT / "benchmarks" / "output"
 K = 2
 PROFILE_SEED = 7
 WALK_MAX_ROUNDS = 8
+#: The exhaustive-search sweep scenario must stay at least this much faster
+#: than the from-scratch reference; the script exits non-zero below it.
+SWEEP_SPEEDUP_FLOOR = 5.0
 
 
 def time_call(fn, repeats):
@@ -110,20 +130,135 @@ def bench_walk(n, repeats, include_reference):
     return row
 
 
+def bench_exhaustive_search(repeats, smoke):
+    """Exhaustive search over a restricted (7, 2)-uniform profile grid.
+
+    The full 15^7 product is out of reach for a benchmark, so the tail nodes
+    are pinned to their first budget-maximal strategy and the head nodes
+    sweep their full strategy sets — the same restricted-candidates call
+    both paths support, exhausted to the end (``stop_at_first=False``) so
+    the timing covers the whole grid.
+    """
+    game = UniformBBCGame(7, K)
+    sets = candidate_strategy_sets(game, None, None)
+    free = 2 if smoke else 3
+    candidates = {node: sets[node][:1] for node in range(free, 7)}
+    kwargs = dict(candidate_strategies=candidates, stop_at_first=False)
+
+    sweep_time, sweep_summary = time_call(
+        lambda: exhaustive_equilibrium_search(game, engine=CostEngine(game), **kwargs),
+        repeats,
+    )
+    reference_time, reference_summary = time_call(
+        lambda: exhaustive_equilibrium_search(game, engine=False, **kwargs), repeats
+    )
+    assert reference_summary == sweep_summary
+    return {
+        "task": "exhaustive_search",
+        "n": 7,
+        "k": K,
+        "free_nodes": free,
+        "profiles": sweep_summary.profiles_examined,
+        "equilibria": sweep_summary.equilibria_found,
+        "engine_seconds": sweep_time,
+        "reference_seconds": reference_time,
+        "speedup": reference_time / sweep_time,
+    }
+
+
+def bench_figure4(repeats, include_reference):
+    engine_time, engine_results = time_call(
+        lambda: reconstruct_figure4(max_results=1), repeats
+    )
+    row = {
+        "task": "figure4_reconstruction",
+        "n": 7,
+        "k": K,
+        "reconstructions": len(engine_results),
+        "engine_seconds": engine_time,
+    }
+    if include_reference:
+        reference_time, reference_results = time_call(
+            lambda: reconstruct_figure4(max_results=1, engine=False), repeats
+        )
+        assert [r.profile for r in reference_results] == [
+            r.profile for r in engine_results
+        ]
+        row["reference_seconds"] = reference_time
+        row["speedup"] = reference_time / engine_time
+    return row
+
+
+def bench_study_grid(repeats, smoke):
+    """Process-parallel study grid: serial vs fan-out over worker processes.
+
+    On a single-CPU box the parallel run records the fork overhead rather
+    than a speedup; ``cpus`` is stored alongside so the trajectory stays
+    interpretable across machines.
+    """
+    n = 7 if smoke else 8
+    starts = 3 if smoke else 6
+    processes = default_processes()
+
+    def run(process_count):
+        return max_cost_first_convergence_study(
+            n, K, num_starts=starts, max_rounds=50, seed=0, processes=process_count
+        )
+
+    serial_time, serial_rows = time_call(lambda: run(1), repeats)
+    parallel_time, parallel_rows = time_call(lambda: run(max(processes, 2)), repeats)
+    assert serial_rows == parallel_rows
+    return {
+        "task": "study_grid",
+        "n": n,
+        "k": K,
+        "starts": starts,
+        "cpus": os.cpu_count(),
+        "processes": max(processes, 2),
+        "serial_seconds": serial_time,
+        "parallel_seconds": parallel_time,
+        "scaling": serial_time / parallel_time,
+    }
+
+
 def render_table(rows):
     lines = [
-        f"{'task':<22} {'n':>4} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
+        f"{'task':<24} {'n':>4} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
     ]
     for row in rows:
-        reference = row.get("reference_seconds")
-        speedup = row.get("speedup")
+        # The study-grid scenario times serial vs parallel instead of
+        # reference vs engine; the columns line up the same way.
+        reference = row.get("reference_seconds", row.get("serial_seconds"))
+        engine = row.get("engine_seconds", row.get("parallel_seconds"))
+        speedup = row.get("speedup", row.get("scaling"))
         lines.append(
-            f"{row['task']:<22} {row['n']:>4} "
+            f"{row['task']:<24} {row['n']:>4} "
             f"{(f'{reference:.4f}' if reference is not None else '-'):>13} "
-            f"{row['engine_seconds']:>10.4f} "
+            f"{engine:>10.4f} "
             f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>8}"
         )
     return "\n".join(lines)
+
+
+def run_core_scenarios(args, repeats):
+    sizes = [8, 16] if args.smoke else [8, 16, 32, 64]
+    rows = []
+    for n in sizes:
+        include_reference = n <= args.max_reference_n
+        print(f"benchmarking n={n} (reference={'yes' if include_reference else 'no'}) ...")
+        rows.append(bench_equilibrium(n, repeats, include_reference))
+        rows.append(bench_walk(n, repeats, include_reference))
+    return sizes, rows
+
+
+def run_sweep_scenarios(args, repeats):
+    print("benchmarking exhaustive equilibrium search (sweep vs from-scratch) ...")
+    rows = [bench_exhaustive_search(repeats, args.smoke)]
+    print("benchmarking figure-4 completion scan ...")
+    rows.append(bench_figure4(repeats, include_reference=not args.smoke))
+    print("benchmarking process-parallel study grid ...")
+    rows.append(bench_study_grid(repeats, args.smoke))
+    return rows
 
 
 def main():
@@ -132,6 +267,12 @@ def main():
         "--smoke",
         action="store_true",
         help="tiny sizes and one repeat so the whole run takes seconds",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the sweep-engine scenarios (exhaustive search, figure-4 "
+        "scan, parallel study grid) instead of the core per-call scenarios",
     )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
     parser.add_argument(
@@ -142,35 +283,64 @@ def main():
     )
     args = parser.parse_args()
 
-    sizes = [8, 16] if args.smoke else [8, 16, 32, 64]
     repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
     if repeats < 1:
         parser.error(f"--repeats must be at least 1 (got {repeats})")
 
-    rows = []
-    for n in sizes:
-        include_reference = n <= args.max_reference_n
-        print(f"benchmarking n={n} (reference={'yes' if include_reference else 'no'}) ...")
-        rows.append(bench_equilibrium(n, repeats, include_reference))
-        rows.append(bench_walk(n, repeats, include_reference))
-
-    payload = {
-        "benchmark": "bench_speed",
-        "k": K,
-        "sizes": sizes,
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    json_path = OUTPUT_DIR / "BENCH_speed.json"
+    # Each mode owns its own key in the payload and appends around the other
+    # mode's last results, so `--sweep` runs extend the trajectory instead of
+    # erasing the core scenarios (and vice versa).
+    payload = {}
+    if json_path.exists():
+        try:
+            payload = json.loads(json_path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update({"benchmark": "bench_speed", "k": K})
+    # Provenance lives next to each mode's rows: the other mode's results are
+    # preserved as-is, so top-level repeats/smoke would misstate how they ran.
+    meta = {
         "repeats": repeats,
         "smoke": args.smoke,
         "python": platform.python_version(),
-        "results": rows,
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    json_path = OUTPUT_DIR / "BENCH_speed.json"
+
+    if args.sweep:
+        rows = run_sweep_scenarios(args, repeats)
+        payload["sweep_results"] = rows
+        payload["sweep_meta"] = meta
+    else:
+        sizes, rows = run_core_scenarios(args, repeats)
+        payload["sizes"] = sizes
+        payload["results"] = rows
+        payload["core_meta"] = meta
+    payload.pop("repeats", None)  # top-level provenance from older payloads
+    payload.pop("smoke", None)
+    payload.pop("python", None)
+
     json_path.write_text(json.dumps(payload, indent=2) + "\n")
     table = render_table(rows)
-    (OUTPUT_DIR / "BENCH_speed.txt").write_text(table + "\n")
+    table_path = OUTPUT_DIR / ("BENCH_speed_sweep.txt" if args.sweep else "BENCH_speed.txt")
+    table_path.write_text(table + "\n")
     print("\n" + table)
     print(f"\nwrote {json_path}")
 
+    if args.sweep:
+        if args.smoke:
+            # Like the core gate (which only applies at n >= 32, beyond smoke
+            # sizes): the tiny smoke grid is too noisy for a hard floor.
+            return 0
+        search_rows = [row for row in rows if row["task"] == "exhaustive_search"]
+        if any(row["speedup"] < SWEEP_SPEEDUP_FLOOR for row in search_rows):
+            print(
+                f"WARNING: exhaustive_search sweep speedup fell below "
+                f"{SWEEP_SPEEDUP_FLOOR:g}x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     checked = [
         row for row in rows if row["task"] == "equilibrium_report" and "speedup" in row
     ]

@@ -4,24 +4,31 @@ Theorem 2 shows that deciding pure-NE existence is NP-hard, so these routines
 do not pretend to scale; they exist to verify the paper's small constructions
 (the Figure 1 gadget, reduced 3-SAT instances, small uniform games) by brute
 force, and to empirically explore the equilibrium landscape of small games.
+
+The searches are *sweeps*: thousands of profiles that differ locally.  They
+enumerate in mixed-radix Gray order (:func:`repro.engine.gray_code_profiles`,
+consecutive profiles differ in one node) and, by default, check stability
+through :class:`repro.engine.SweepEvaluator`, which memoises per-node best
+costs against unchanged environments.  ``engine=False`` forces the
+dict-based reference path (a fresh :func:`is_pure_nash` per profile); both
+paths visit the same profiles in the same order and return identical
+summaries — ``tests/test_sweep.py`` pins that parity.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Hashable, Iterator, List, Mapping, Optional, Sequence
 
-from .best_response import best_response
+from ..rng import SeedLike, as_rng
 from .equilibrium import is_pure_nash
 from .errors import SearchSpaceTooLarge
 from .game import BBCGame, DEFAULT_ENUMERATION_LIMIT
 from .profile import StrategyProfile, Strategy
 
 Node = Hashable
-SeedLike = Union[int, random.Random, None]
 
 #: Default cap on the number of profiles an exhaustive search may visit.
 DEFAULT_PROFILE_LIMIT = 5_000_000
@@ -42,10 +49,10 @@ class SearchSummary:
         return self.equilibria_found > 0
 
 
-def _candidate_strategy_sets(
+def candidate_strategy_sets(
     game: BBCGame,
-    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]],
-    candidate_targets: Optional[Mapping[Node, Sequence[Node]]],
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
 ) -> Dict[Node, List[Strategy]]:
     """Materialise the per-node strategy sets an exhaustive search ranges over."""
     sets: Dict[Node, List[Strategy]] = {}
@@ -71,10 +78,13 @@ def enumerate_profiles(
 ) -> Iterator[StrategyProfile]:
     """Yield every profile in the cartesian product of per-node strategy sets.
 
-    The search space size is estimated up front and
-    :class:`SearchSpaceTooLarge` is raised when it exceeds ``limit``.
+    Plain lexicographic (``itertools.product``) order; the equilibrium
+    searches below use :func:`repro.engine.gray_code_profiles` instead, which
+    covers the same product in single-edit order.  The search space size is
+    estimated up front and :class:`SearchSpaceTooLarge` is raised when it
+    exceeds ``limit``.
     """
-    sets = _candidate_strategy_sets(game, candidate_strategies, candidate_targets)
+    sets = candidate_strategy_sets(game, candidate_strategies, candidate_targets)
     size = 1.0
     for node in game.nodes:
         size *= max(1, len(sets[node]))
@@ -83,6 +93,36 @@ def enumerate_profiles(
     nodes = list(game.nodes)
     for combination in itertools.product(*(sets[node] for node in nodes)):
         yield StrategyProfile(dict(zip(nodes, combination)))
+
+
+def _nash_checker(
+    game: BBCGame,
+    tolerance: float,
+    deviation_limit: float,
+    engine,
+) -> Callable[[StrategyProfile], bool]:
+    """Resolve the tri-state ``engine`` argument into an ``is_nash`` callable.
+
+    ``False`` gives the reference path (a from-scratch :func:`is_pure_nash`
+    with the dict-based oracle per profile); ``None`` or an explicit
+    :class:`~repro.engine.CostEngine` gives a
+    :class:`~repro.engine.SweepEvaluator` bound to it.  Both produce
+    bit-identical verdicts.
+    """
+    from ..engine import resolve_engine
+    from ..engine.sweep import SweepEvaluator
+
+    resolved = resolve_engine(game, engine)
+    if resolved is None:
+        def check(profile: StrategyProfile) -> bool:
+            return is_pure_nash(
+                game, profile, tolerance=tolerance, limit=deviation_limit, engine=False
+            )
+
+        return check
+    return SweepEvaluator(
+        game, tolerance=tolerance, deviation_limit=deviation_limit, engine=resolved
+    ).is_nash
 
 
 def exhaustive_equilibrium_search(
@@ -94,26 +134,37 @@ def exhaustive_equilibrium_search(
     profile_limit: float = DEFAULT_PROFILE_LIMIT,
     deviation_limit: float = DEFAULT_ENUMERATION_LIMIT,
     tolerance: float = 1e-9,
+    engine=None,
 ) -> SearchSummary:
     """Search for pure Nash equilibria by enumerating profiles.
 
     Profiles range over the supplied candidate sets (or all budget-maximal
-    strategies by default), while the Nash check for each profile always
-    considers *every* feasible deviation, so any equilibrium reported here is
-    a genuine pure Nash equilibrium of the full game.  A negative result only
-    certifies that no equilibrium uses the enumerated strategy sets.
+    strategies by default) in Gray order, while the Nash check for each
+    profile always considers *every* feasible deviation, so any equilibrium
+    reported here is a genuine pure Nash equilibrium of the full game.  A
+    negative result only certifies that no equilibrium uses the enumerated
+    strategy sets.
+
+    ``engine`` follows the tri-state convention of every routed entry point:
+    the default sweeps incrementally through a
+    :class:`~repro.engine.SweepEvaluator`; ``engine=False`` checks each
+    profile from scratch with the reference oracle.  Summaries are identical
+    either way.
     """
+    from ..engine.sweep import gray_code_profiles
+
+    check = _nash_checker(game, tolerance, deviation_limit, engine)
     examined = 0
     found = 0
     first: Optional[StrategyProfile] = None
-    for profile in enumerate_profiles(
+    for profile in gray_code_profiles(
         game,
         candidate_strategies=candidate_strategies,
         candidate_targets=candidate_targets,
         limit=profile_limit,
     ):
         examined += 1
-        if is_pure_nash(game, profile, tolerance=tolerance, limit=deviation_limit):
+        if check(profile):
             found += 1
             if first is None:
                 first = profile
@@ -139,17 +190,28 @@ def find_equilibria(
     candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
     max_results: Optional[int] = None,
     profile_limit: float = DEFAULT_PROFILE_LIMIT,
+    deviation_limit: float = DEFAULT_ENUMERATION_LIMIT,
     tolerance: float = 1e-9,
+    engine=None,
 ) -> List[StrategyProfile]:
-    """Return (up to ``max_results``) pure Nash equilibria found by enumeration."""
+    """Return (up to ``max_results``) pure Nash equilibria found by enumeration.
+
+    Same sweep (Gray order, incremental checks, tri-state ``engine``) as
+    :func:`exhaustive_equilibrium_search`, collecting the equilibria instead
+    of summarising them.  ``deviation_limit`` bounds the per-node deviation
+    enumeration exactly as there.
+    """
+    from ..engine.sweep import gray_code_profiles
+
+    check = _nash_checker(game, tolerance, deviation_limit, engine)
     results: List[StrategyProfile] = []
-    for profile in enumerate_profiles(
+    for profile in gray_code_profiles(
         game,
         candidate_strategies=candidate_strategies,
         candidate_targets=candidate_targets,
         limit=profile_limit,
     ):
-        if is_pure_nash(game, profile, tolerance=tolerance):
+        if check(profile):
             results.append(profile)
             if max_results is not None and len(results) >= max_results:
                 break
@@ -163,7 +225,7 @@ def random_profile(game: BBCGame, seed: SeedLike = None) -> StrategyProfile:
     randomly permuting the other nodes and buying greedily until the budget
     runs out (for uniform link costs this is a uniformly random k-subset).
     """
-    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    rng = as_rng(seed)
     strategies: Dict[Node, Strategy] = {}
     for node in game.nodes:
         others = [v for v in game.nodes if v != node]
@@ -184,21 +246,27 @@ def sampled_equilibrium_search(
     *,
     samples: int = 100,
     seed: SeedLike = None,
+    deviation_limit: float = DEFAULT_ENUMERATION_LIMIT,
     tolerance: float = 1e-9,
+    engine=None,
 ) -> SearchSummary:
     """Look for equilibria among random budget-maximal profiles.
 
     A cheap, incomplete probe used by the experiment harness to estimate how
-    common equilibria are in a game family.
+    common equilibria are in a game family.  Random samples rarely share
+    environments, so the sweep evaluator's memo helps less here than in the
+    exhaustive search — the win is the flat-array engine itself — but the
+    tri-state ``engine`` contract and verdict parity are the same.
     """
-    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    rng = as_rng(seed)
+    check = _nash_checker(game, tolerance, deviation_limit, engine)
     examined = 0
     found = 0
     first: Optional[StrategyProfile] = None
     for _ in range(samples):
         profile = random_profile(game, seed=rng)
         examined += 1
-        if is_pure_nash(game, profile, tolerance=tolerance):
+        if check(profile):
             found += 1
             if first is None:
                 first = profile

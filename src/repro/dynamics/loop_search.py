@@ -20,14 +20,12 @@ phenomenon without relying on the published example.
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core import StrategyProfile, UniformBBCGame, best_response
+from ..rng import SeedLike, as_rng
 from .walk import WalkResult, run_best_response_walk
-
-SeedLike = Union[int, random.Random, None]
 
 #: The published rewiring loop: (node, new strategy) in walk order.
 FIGURE4_DEVIATION_SEQUENCE: Tuple[Tuple[int, FrozenSet[int]], ...] = (
@@ -69,6 +67,7 @@ def _walk_deviation_sequence(
     *,
     max_deviations: int,
     expected: Optional[Sequence[Tuple[int, FrozenSet[int]]]] = None,
+    engine=None,
 ) -> Tuple[List[Tuple[int, FrozenSet[int]]], StrategyProfile]:
     """Simulate the Figure 4 walk and collect its deviations.
 
@@ -81,7 +80,7 @@ def _walk_deviation_sequence(
     while len(observed) < max_deviations:
         node = order[position % len(order)]
         position += 1
-        result = best_response(game, profile, node)
+        result = best_response(game, profile, node, engine=engine)
         if result.improved:
             observed.append((node, frozenset(result.best_strategy)))
             profile = result.apply(profile)
@@ -95,7 +94,7 @@ def _walk_deviation_sequence(
 
 
 def reconstruct_figure4(
-    *, max_results: int = 1, require_cost_match: bool = False
+    *, max_results: int = 1, require_cost_match: bool = False, engine=None
 ) -> List[Figure4Reconstruction]:
     """Search for completions of Figure 4's initial configuration.
 
@@ -103,33 +102,55 @@ def reconstruct_figure4(
     first) reproduces the published six-deviation loop and returns to the
     initial configuration.  When ``require_cost_match`` is set, the initial
     node costs must additionally equal the values printed in the figure.
+
+    The ``C(6,2)^4`` completions are visited in Gray order
+    (:func:`repro.engine.gray_code_profiles` over the free nodes, the fixed
+    nodes as singleton sets), so successive candidates differ in one node and
+    the engine's version-stamped rows stay hot, and each candidate is first
+    screened by node 6's exact best response: the published walk probes node
+    6 first, so unless that single probe already yields the published
+    rewiring ``6 -> {0, 2}``, the completion cannot reproduce the sequence
+    (whichever node deviated first would mismatch, and a fully stable
+    completion produces no deviations at all).  ``engine`` is the usual
+    tri-state: ``False`` scores every probe with the dict-based reference
+    oracle; the results are identical either way.
     """
     game = UniformBBCGame(7, 2)
     free_nodes = (0, 1, 4, 5)
-    options = {
-        node: [
-            frozenset(combo)
-            for combo in itertools.combinations([v for v in range(7) if v != node], 2)
-        ]
-        for node in free_nodes
+    sets: Dict[int, List[FrozenSet[int]]] = {
+        node: [strategy] for node, strategy in FIGURE4_KNOWN_STRATEGIES.items()
     }
+    sets.update(
+        {
+            node: [
+                frozenset(combo)
+                for combo in itertools.combinations([v for v in range(7) if v != node], 2)
+            ]
+            for node in free_nodes
+        }
+    )
     results: List[Figure4Reconstruction] = []
     expected = list(FIGURE4_DEVIATION_SEQUENCE)
+    first_node, first_strategy = expected[0]
 
-    for combo in itertools.product(*(options[node] for node in free_nodes)):
-        strategies: Dict[int, FrozenSet[int]] = dict(FIGURE4_KNOWN_STRATEGIES)
-        for node, strategy in zip(free_nodes, combo):
-            strategies[node] = strategy
-        profile = StrategyProfile(strategies)
+    from ..engine.sweep import gray_code_profiles
 
-        initial_costs = game.all_costs(profile)
-        if require_cost_match and any(
-            abs(initial_costs[node] - FIGURE4_INITIAL_COSTS[node]) > 1e-9 for node in range(7)
-        ):
+    for profile in gray_code_profiles(game, sets):
+        initial_costs: Optional[Dict[int, float]] = None
+        if require_cost_match:
+            initial_costs = game.all_costs(profile, engine=engine)
+            if any(
+                abs(initial_costs[node] - FIGURE4_INITIAL_COSTS[node]) > 1e-9
+                for node in range(7)
+            ):
+                continue
+
+        probe = best_response(game, profile, first_node, engine=engine)
+        if not probe.improved or probe.best_strategy != first_strategy:
             continue
 
         observed, final_profile = _walk_deviation_sequence(
-            game, profile, max_deviations=len(expected), expected=expected
+            game, profile, max_deviations=len(expected), expected=expected, engine=engine
         )
         if len(observed) != len(expected):
             continue
@@ -137,6 +158,8 @@ def reconstruct_figure4(
             continue
         if final_profile != profile:
             continue
+        if initial_costs is None:
+            initial_costs = game.all_costs(profile, engine=engine)
         results.append(
             Figure4Reconstruction(
                 profile=profile,
@@ -153,11 +176,14 @@ def reconstruct_figure4(
     return results
 
 
-def verify_figure4_loop(reconstruction: Figure4Reconstruction) -> bool:
+def verify_figure4_loop(reconstruction: Figure4Reconstruction, *, engine=None) -> bool:
     """Re-run the walk on a reconstruction and confirm it closes the loop."""
     game = UniformBBCGame(7, 2)
     observed, final_profile = _walk_deviation_sequence(
-        game, reconstruction.profile, max_deviations=len(FIGURE4_DEVIATION_SEQUENCE)
+        game,
+        reconstruction.profile,
+        max_deviations=len(FIGURE4_DEVIATION_SEQUENCE),
+        engine=engine,
     )
     return (
         tuple(observed) == FIGURE4_DEVIATION_SEQUENCE
@@ -179,7 +205,7 @@ def find_cycle_from_random_starts(
     returns the first walk that provably cycles (configuration repeated at a
     round boundary without reaching an equilibrium), or ``None``.
     """
-    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    rng = as_rng(seed)
     game = UniformBBCGame(n, k)
     nodes = list(range(n))
     for _ in range(attempts):

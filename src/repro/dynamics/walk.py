@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..graphs import is_strongly_connected
 from ..core import BBCGame, StrategyProfile, best_response
+from ..rng import SeedLike, as_rng
 
 Node = Hashable
-SeedLike = Union[int, random.Random, None]
 
 
 @dataclass(frozen=True)
@@ -121,7 +121,7 @@ def run_best_response_walk(
         :class:`~repro.engine.CostEngine` controls cache sharing.
     """
     game.validate_profile(initial)
-    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    rng = as_rng(seed)
     profile = initial
     probes = 0
     deviations = 0

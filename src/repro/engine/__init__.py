@@ -36,16 +36,41 @@ and trust the stamp.  Anything holding a pre-``sync`` artefact — e.g. a
 :class:`~repro.engine.cost_engine.StrategyScorer` — checks the stamp and
 refuses to run stale.
 
+**The sweep contract.**  Multi-profile workloads (exhaustive / sampled
+equilibrium search, the Figure 4 completion scan) go through
+:mod:`repro.engine.sweep`: :func:`gray_code_profiles` enumerates a cartesian
+product of per-node strategy sets so that consecutive profiles differ in
+exactly one node — every ``sync`` along the sweep is then the cheap
+single-node case above — and :class:`SweepEvaluator` layers environment-keyed
+memoisation on top: a node's deviation check depends only on its
+*environment* (everyone else's strategies), so the evaluator caches the
+node's minimum achievable cost and its stability verdicts per environment
+and never re-probes a node whose environment rows are still valid.
+``sync`` reports which nodes a profile step changed (its return value) so
+sweep layers know exactly which memo entries survived.  Verdicts stay
+bit-identical to the reference path; ``tests/test_sweep.py`` pins it.
+
+**The parallel-map spec.**  For process-level fan-out,
+:mod:`repro.experiments.parallel` ships a compact picklable
+:class:`~repro.experiments.parallel.GameSpec` — ``("uniform", (n, k,
+objective, penalty))`` or ``("general", (nodes, sparse tables, defaults))`` —
+from which each worker rebuilds the game and its :class:`IndexedGame`/
+:class:`CostEngine` locally instead of pickling engine state;
+``parallel_map(fn, items, processes=...)`` preserves item order and falls
+back to a deterministic serial loop when ``processes == 1``.
+
 The dict-based :class:`~repro.core.best_response.DeviationOracle` remains in
 the tree as the reference implementation; ``tests/test_engine_parity.py``
 asserts bit-identical costs and regrets between the two, and
-``scripts/bench_speed.py`` tracks the speedup.
+``scripts/bench_speed.py`` (``--sweep`` for the sweep scenarios) tracks the
+speedup.
 """
 
 from weakref import WeakKeyDictionary
 
 from .cost_engine import CostEngine, StrategyScorer
 from .indexed import IndexedGame
+from .sweep import SweepEvaluator, gray_code_profiles
 
 #: One shared engine per live game object; weak keys so games can be GC'd.
 _ENGINES: "WeakKeyDictionary" = WeakKeyDictionary()
@@ -82,4 +107,12 @@ def resolve_engine(game, engine) -> "CostEngine | None":
     return engine
 
 
-__all__ = ["CostEngine", "StrategyScorer", "IndexedGame", "get_engine", "resolve_engine"]
+__all__ = [
+    "CostEngine",
+    "StrategyScorer",
+    "IndexedGame",
+    "SweepEvaluator",
+    "gray_code_profiles",
+    "get_engine",
+    "resolve_engine",
+]

@@ -51,6 +51,12 @@ class CostEngine:
         #: Bumped on every observed profile change; all caches key on it.
         self.version = 0
         self._strategies: Optional[List[frozenset]] = None
+        # The same strategies in label space (what profiles carry), kept so
+        # sync can diff by frozenset equality and only re-map the nodes that
+        # actually changed; and the per-node sorted CSR rows, updated the
+        # same incremental way.
+        self._label_strategies: Optional[List[frozenset]] = None
+        self._sorted_rows: List[List[int]] = []
         self._indptr: List[int] = [0] * (self.indexed.n + 1)
         self._indices: List[int] = []
         self._edge_lengths: Optional[List[float]] = None
@@ -101,42 +107,61 @@ class CostEngine:
     # ------------------------------------------------------------------ #
     # Profile synchronisation
     # ------------------------------------------------------------------ #
-    def sync(self, profile: StrategyProfile) -> None:
+    def sync(self, profile: StrategyProfile) -> Optional[Tuple[int, ...]]:
         """Point the engine at ``profile``, invalidating as little as possible.
 
         Diffs the profile against the current snapshot: no change keeps the
         version (full cache reuse); a single-node change bumps the version
         but preserves that node's own environment rows (``G - u`` does not
         contain ``u``'s links); anything larger resets all caches.
+
+        Returns the dense int ids of the nodes whose strategies changed —
+        ``()`` for a no-op sync — or ``None`` on the first sync, when there
+        is no previous snapshot to diff against, so callers and
+        instrumentation can see how a profile step was classified.  (The
+        sweep layer diffs against :meth:`snapshot_strategies` instead: its
+        memo validity depends on *its* last profile, and a shared engine may
+        have been synced elsewhere in between.)
         """
         indexed = self.indexed
         if len(profile) != indexed.n:
             raise InvalidProfile("profile nodes do not match the game's node set")
         index = indexed.index
+        raw = [profile.strategy(label) for label in indexed.labels]
+
+        old_raw = self._label_strategies
+        if old_raw is not None:
+            # Diff in label space: distinct labels map to distinct ints, so
+            # frozenset equality agrees with the int view and only the
+            # changed nodes need the label->int remap below.
+            changed = [u for u in range(indexed.n) if raw[u] != old_raw[u]]
+            if not changed:
+                self.stats["noop_syncs"] += 1
+                return ()
+        else:
+            changed = None
+
         try:
-            new_strategies = [
-                frozenset(index[target] for target in profile.strategy(label))
-                for label in indexed.labels
-            ]
+            if changed is None:
+                self._strategies = [
+                    frozenset(index[target] for target in targets) for targets in raw
+                ]
+            else:
+                # Remap fully before mutating so an unknown-target failure
+                # leaves the engine exactly on its previous snapshot.
+                remapped = [
+                    frozenset(index[target] for target in raw[u]) for u in changed
+                ]
+                for u, strategy in zip(changed, remapped):
+                    self._strategies[u] = strategy
         except KeyError as exc:
             raise InvalidProfile(
                 f"profile buys a link to unknown node {exc.args[0]!r}"
             ) from exc
 
-        old_strategies = self._strategies
-        if old_strategies is not None:
-            changed = [
-                u for u in range(indexed.n) if new_strategies[u] != old_strategies[u]
-            ]
-            if not changed:
-                self.stats["noop_syncs"] += 1
-                return
-        else:
-            changed = None
-
-        self._strategies = new_strategies
+        self._label_strategies = raw
         self.version += 1
-        self._rebuild_csr()
+        self._rebuild_csr(changed)
         self._all_costs_cache = None
         if changed is not None and len(changed) == 1:
             self.stats["local_syncs"] += 1
@@ -159,11 +184,17 @@ class CostEngine:
             self._through_cache.clear()
             self._env_rows_cached = 0
             self._reuse_counted.clear()
+        return tuple(changed) if changed is not None else None
 
-    def _rebuild_csr(self) -> None:
+    def _rebuild_csr(self, changed: Optional[List[int]] = None) -> None:
         indexed = self.indexed
         strategies = self._strategies
-        rows = [sorted(strategies[u]) for u in range(indexed.n)]
+        if changed is None:
+            self._sorted_rows = [sorted(strategies[u]) for u in range(indexed.n)]
+        else:
+            for u in changed:
+                self._sorted_rows[u] = sorted(strategies[u])
+        rows = self._sorted_rows
         self._indptr, self._indices = build_csr(rows)
         if indexed.uniform_lengths:
             self._edge_lengths = None
@@ -177,6 +208,16 @@ class CostEngine:
     def _require_sync(self) -> None:
         if self._strategies is None:
             raise InvalidProfile("CostEngine.sync(profile) must be called first")
+
+    def snapshot_strategies(self) -> Optional[List[frozenset]]:
+        """Return the synced profile's per-node strategies in label space.
+
+        ``None`` before the first sync; indexed by dense node id, in the
+        same order as :attr:`IndexedGame.labels`.  This is the snapshot the
+        sweep layer compares against to decide whether a node's masked
+        ``d_{G-u}`` rows are still valid without forcing a sync.
+        """
+        return self._label_strategies
 
     # ------------------------------------------------------------------ #
     # Distance rows

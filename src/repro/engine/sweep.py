@@ -1,0 +1,330 @@
+"""Sweep evaluation: Gray-code profile enumeration + incremental Nash checks.
+
+The repo's heavy workloads are *sweeps*: exhaustive / sampled equilibrium
+searches and the Figure 4 completion scan evaluate thousands of profiles that
+differ from their neighbours in a single node's strategy.  This module makes
+that locality explicit:
+
+* :func:`gray_code_profiles` enumerates the cartesian product of per-node
+  strategy sets in mixed-radix *reflected Gray order*, so consecutive
+  profiles differ in exactly one node.  Every :meth:`CostEngine.sync` along
+  the sweep is then a single-node local sync and the version-stamped
+  ``d_{G-u}`` rows of the moving node stay hot.
+
+* :class:`SweepEvaluator` holds one :class:`~repro.engine.CostEngine` and
+  answers ``is_nash(profile)`` with two memoisation layers keyed by a node's
+  *environment* (the strategies of everyone else, which is all a deviation
+  check depends on):
+
+  - ``B(u, env)`` — the exact minimum cost node ``u`` can reach over its
+    budget-maximal strategies against ``env``.  Along a Gray sweep the
+    moving node's environment is unchanged, so its stability under a new
+    strategy is one cached-row scoring against the memoised minimum — no
+    SSSP, no re-enumeration;
+  - ``verdict(u, env, strategy)`` — the final stable/unstable bit.  Each
+    environment of ``u`` recurs once per strategy of ``u`` across a full
+    product sweep, so re-visits cost one dict probe.
+
+  Verdicts are **bit-identical** to the reference path
+  (:func:`repro.core.is_pure_nash` with ``engine=False``): the full probe
+  replays :func:`~repro.core.best_response`'s exact chained
+  ``cost < best - 1e-9`` update rule, and the memoised shortcut falls back
+  to a full probe inside the one-epsilon window where the pure minimum
+  cannot decide the chained outcome.
+
+``tests/test_sweep.py`` pins the Gray single-edit/coverage invariants and
+search-summary parity; ``scripts/bench_speed.py --sweep`` tracks the speedup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import SearchSpaceTooLarge
+from ..core.game import BBCGame, DEFAULT_ENUMERATION_LIMIT
+from ..core.profile import StrategyProfile, Strategy
+from .cost_engine import CostEngine
+
+Node = Hashable
+
+#: The epsilon of ``best_response``'s chained ``cost < best - eps`` update;
+#: the memoised shortcut must replicate it exactly to stay bit-identical.
+_CHAIN_EPS = 1e-9
+
+#: Default cap on the number of profiles a Gray sweep may range over
+#: (mirrors :data:`repro.core.search.DEFAULT_PROFILE_LIMIT`).
+DEFAULT_SWEEP_LIMIT = 5_000_000
+
+#: Default bound on memoised entries (environment minima + verdict bits)
+#: across all nodes; exceeding it drops every memo and starts over.
+DEFAULT_MEMO_ENTRY_LIMIT = 1_000_000
+
+
+def gray_code_profiles(
+    game: BBCGame,
+    sets: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    *,
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
+    limit: float = DEFAULT_SWEEP_LIMIT,
+) -> Iterator[StrategyProfile]:
+    """Yield every profile over the per-node strategy sets in Gray order.
+
+    Consecutive profiles differ in **exactly one** node's strategy (mixed-radix
+    reflected Gray order, Knuth 7.2.1.1 Algorithm H), and the full cartesian
+    product is covered exactly once.  ``sets`` explicitly fixes the strategy
+    list of the nodes it mentions (shorthand for ``candidate_strategies``);
+    nodes covered by neither fall back to all budget-maximal strategies, like
+    :func:`repro.core.enumerate_profiles`.  The last node in declaration
+    order varies fastest, mirroring ``itertools.product``.
+
+    The search-space size is estimated up front; exceeding ``limit`` raises
+    :class:`~repro.core.errors.SearchSpaceTooLarge`.
+    """
+    from ..core.search import candidate_strategy_sets
+
+    if sets is not None:
+        if candidate_strategies is not None:
+            raise ValueError("pass either `sets` or `candidate_strategies`, not both")
+        candidate_strategies = sets
+    resolved = candidate_strategy_sets(game, candidate_strategies, candidate_targets)
+
+    nodes = list(game.nodes)
+    size = 1.0
+    for node in nodes:
+        size *= max(1, len(resolved[node]))
+    if size > limit:
+        raise SearchSpaceTooLarge("Gray-code profile enumeration", size, limit)
+    if any(not resolved[node] for node in nodes):
+        return  # an empty strategy set empties the whole product
+
+    current: Dict[Node, Strategy] = {node: resolved[node][0] for node in nodes}
+    yield StrategyProfile(current)
+
+    # Gray digits: nodes with >= 2 options, last node fastest (digit 0).
+    digit_nodes = [node for node in reversed(nodes) if len(resolved[node]) >= 2]
+    m = len(digit_nodes)
+    if m == 0:
+        return
+    radix = [len(resolved[node]) for node in digit_nodes]
+    value = [0] * m
+    direction = [1] * m
+    focus = list(range(m + 1))
+    while True:
+        j = focus[0]
+        focus[0] = 0
+        if j == m:
+            return
+        value[j] += direction[j]
+        if value[j] == 0 or value[j] == radix[j] - 1:
+            direction[j] = -direction[j]
+            focus[j] = focus[j + 1]
+            focus[j + 1] = j + 1
+        node = digit_nodes[j]
+        current[node] = resolved[node][value[j]]
+        yield StrategyProfile(current)
+
+
+class SweepEvaluator:
+    """Incremental pure-Nash checking over a stream of related profiles.
+
+    Bound to one game and one :class:`CostEngine`; ``is_nash(profile)`` diffs
+    each profile against the previous one, checks the changed node first (its
+    environment — everything a deviation check depends on — is untouched, so
+    its memoised best cost usually decides instantly), and memoises per-node
+    results keyed by environment so that profiles revisiting a known
+    environment never re-probe.  Verdicts are bit-identical to
+    ``is_pure_nash(game, profile, engine=False)``; only the work is different.
+
+    The evaluator assumes the profiles it is fed are feasible for the game
+    (true for anything produced by :func:`gray_code_profiles` or
+    :func:`repro.core.random_profile`); it does not re-validate budgets.
+    """
+
+    def __init__(
+        self,
+        game: BBCGame,
+        *,
+        tolerance: float = 1e-9,
+        deviation_limit: float = DEFAULT_ENUMERATION_LIMIT,
+        engine=None,
+        memo_entry_limit: int = DEFAULT_MEMO_ENTRY_LIMIT,
+    ) -> None:
+        from . import resolve_engine
+
+        resolved = resolve_engine(game, engine)
+        if resolved is None:
+            raise ValueError(
+                "SweepEvaluator requires the flat-array engine; pass engine=None "
+                "for the shared per-game engine or an explicit CostEngine "
+                "(engine=False selects the reference path at the search entry "
+                "points, not here)"
+            )
+        self.game = game
+        self.engine: CostEngine = resolved
+        self.tolerance = float(tolerance)
+        self.deviation_limit = deviation_limit
+        self.labels: Tuple[Node, ...] = resolved.indexed.labels
+        self._n = len(self.labels)
+        self._strategies: Optional[List[FrozenSet[Node]]] = None
+        self._last_verdict: Optional[bool] = None
+        # per node: environment key -> [pure minimum, {strategy: verdict}]
+        self._memo: List[Dict[tuple, list]] = [dict() for _ in range(self._n)]
+        self._memo_entries = 0
+        self._memo_entry_limit = memo_entry_limit
+        #: Observability: how each check was decided.
+        self.stats: Dict[str, int] = {
+            "checks": 0,
+            "noop_checks": 0,
+            "verdict_hits": 0,
+            "memoised_probes": 0,
+            "full_probes": 0,
+            "ambiguous_fallbacks": 0,
+            "memo_resets": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        """Return whether ``profile`` is a pure Nash equilibrium of the game.
+
+        Exactly the verdict of ``is_pure_nash(game, profile, engine=False)``
+        with this evaluator's tolerance and deviation limit.
+        """
+        labels = self.labels
+        strategies = [profile.strategy(label) for label in labels]
+        self.stats["checks"] += 1
+        previous = self._strategies
+        if previous is not None:
+            changed = [u for u in range(self._n) if strategies[u] != previous[u]]
+            if not changed and self._last_verdict is not None:
+                self.stats["noop_checks"] += 1
+                return self._last_verdict
+        else:
+            changed = None
+
+        # The moving node keeps its environment, and every row its check
+        # reads is masked at the node itself (``d_{G-u}`` never contains
+        # ``u``'s links) — so as long as the engine's snapshot differs from
+        # the new profile *only* at the mover, the mover can be probed
+        # against the existing snapshot without a sync.  Along a Gray run of
+        # one node's strategies, an unstable mover therefore rejects the
+        # whole profile with no sync and no CSR rebuild at all.
+        mover: Optional[int] = None
+        if changed is not None and len(changed) == 1:
+            mover = changed[0]
+            snapshot = self.engine.snapshot_strategies()
+            if snapshot is not None and all(
+                u == mover or strategies[u] == snapshot[u] for u in range(self._n)
+            ):
+                if not self._node_stable(mover, strategies):
+                    self._strategies = strategies
+                    self._last_verdict = False
+                    return False
+                # Mover stable: the remaining nodes need the real snapshot.
+                self.engine.sync(profile)
+                self._strategies = strategies
+                return self._check_rest(strategies, skip=mover)
+
+        self.engine.sync(profile)
+        self._strategies = strategies
+        if mover is not None:
+            # Check the mover first: it is both the cheapest node to decide
+            # (memoised best cost, preserved rows) and, in a sweep, the
+            # likeliest source of instability.
+            if not self._node_stable(mover, strategies):
+                self._last_verdict = False
+                return False
+            return self._check_rest(strategies, skip=mover)
+        return self._check_rest(strategies, skip=None)
+
+    def _check_rest(self, strategies: List[FrozenSet[Node]], skip: Optional[int]) -> bool:
+        verdict = True
+        for u in range(self._n):
+            if u == skip:
+                continue
+            if not self._node_stable(u, strategies):
+                verdict = False
+                break
+        self._last_verdict = verdict
+        return verdict
+
+    # ------------------------------------------------------------------ #
+    # Per-node checks
+    # ------------------------------------------------------------------ #
+    def _node_stable(self, u: int, strategies: List[FrozenSet[Node]]) -> bool:
+        env_key = tuple(strategies[:u] + strategies[u + 1 :])
+        strategy = strategies[u]
+        memo = self._memo[u]
+        entry = memo.get(env_key)
+        if entry is None:
+            verdict, pure = self._full_probe(u, strategy)
+            self.stats["full_probes"] += 1
+            memo[env_key] = [pure, {strategy: verdict}]
+            self._account_memo(2)
+            return verdict
+        pure, verdicts = entry
+        cached = verdicts.get(strategy)
+        if cached is not None:
+            self.stats["verdict_hits"] += 1
+            return cached
+        # Environment unchanged since `pure` was memoised.  The reference's
+        # chained best lands within _CHAIN_EPS above the pure minimum, so the
+        # margin decides everywhere except inside that one-epsilon window.
+        current = self._scorer(u)(strategy)
+        margin = current - pure
+        if margin <= self.tolerance:
+            verdict = True
+            self.stats["memoised_probes"] += 1
+        elif margin > self.tolerance + _CHAIN_EPS:
+            verdict = False
+            self.stats["memoised_probes"] += 1
+        else:
+            verdict, _ = self._full_probe(u, strategy)
+            self.stats["full_probes"] += 1
+            self.stats["ambiguous_fallbacks"] += 1
+        verdicts[strategy] = verdict
+        self._account_memo(1)
+        return verdict
+
+    def _scorer(self, u: int):
+        scorer = self.engine.scorer(self.labels[u])
+        return scorer.score_ints if scorer.identity_labels else scorer.score
+
+    def _full_probe(self, u: int, strategy: FrozenSet[Node]) -> Tuple[bool, float]:
+        """Probe node ``u`` exactly like the reference, harvesting the memo.
+
+        One enumeration pass tracks both the *chained* best (seeded at the
+        current cost, updated only when ``cost < best - 1e-9`` — the exact
+        :func:`~repro.core.best_response` semantics the verdict needs) and the
+        *pure* minimum (what later profiles with the same environment compare
+        against).
+        """
+        label = self.labels[u]
+        score = self._scorer(u)
+        current = score(strategy)
+        chained = current
+        pure = math.inf
+        for candidate in self.game.feasible_strategies(
+            label, maximal_only=True, limit=self.deviation_limit
+        ):
+            cost = score(candidate)
+            if cost < chained - _CHAIN_EPS:
+                chained = cost
+            if cost < pure:
+                pure = cost
+        verdict = (current - chained) <= self.tolerance
+        return verdict, pure
+
+    def _account_memo(self, added: int) -> None:
+        self._memo_entries += added
+        if self._memo_entries > self._memo_entry_limit:
+            for memo in self._memo:
+                memo.clear()
+            self._memo_entries = 0
+            self.stats["memo_resets"] += 1
+
+
+__all__ = ["gray_code_profiles", "SweepEvaluator", "DEFAULT_SWEEP_LIMIT"]

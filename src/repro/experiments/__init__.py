@@ -1,4 +1,4 @@
-"""Experiment harness: seeded workloads and the Section 4.3 empirical studies."""
+"""Experiment harness: seeded workloads, parallel sweeps, and the Section 4.3 studies."""
 
 from .dynamics_study import (
     empty_start_convergence_study,
@@ -6,6 +6,7 @@ from .dynamics_study import (
     max_cost_first_convergence_study,
     scheduler_comparison_study,
 )
+from .parallel import GameSpec, default_processes, parallel_map, resolve_processes
 from .workloads import (
     empty_initial_profile,
     interest_cluster_game,
@@ -26,4 +27,8 @@ __all__ = [
     "empty_start_convergence_study",
     "scheduler_comparison_study",
     "engine_reuse_study",
+    "GameSpec",
+    "default_processes",
+    "parallel_map",
+    "resolve_processes",
 ]

@@ -11,20 +11,50 @@ uniform games:
 
 Each observation gets a study function returning row dictionaries that the
 ``bench_dynamics_empirical`` benchmark renders and EXPERIMENTS.md snapshots.
+
+The multi-start / multi-size studies accept a ``processes`` argument and fan
+their independent cells out through :func:`repro.experiments.parallel_map`:
+starting profiles are drawn up front from the study's seed stream (so the
+cells no longer share mutable state) and each worker rebuilds its game from a
+:class:`~repro.experiments.parallel.GameSpec`.  Rows are identical at any
+process count.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Sequence
 
 from ..core import UniformBBCGame, equilibrium_report
 from ..dynamics import run_best_response_walk
 from ..engine import get_engine
+from ..rng import SeedLike, as_rng
+from .parallel import GameSpec, parallel_map
 from .workloads import empty_initial_profile, random_initial_profile
 
 Row = Dict[str, object]
-SeedLike = Union[int, random.Random, None]
+
+
+def _run_walk(game, profile, scheduler, max_rounds) -> Row:
+    result = run_best_response_walk(
+        game,
+        profile,
+        scheduler=scheduler,
+        max_rounds=max_rounds,
+        detect_cycles=True,
+    )
+    return {
+        "converged": result.reached_equilibrium,
+        "cycled": result.cycle_detected,
+        "rounds": result.rounds,
+        "deviations": result.deviations,
+        "final_social_cost": game.social_cost(result.final_profile),
+    }
+
+
+def _walk_cell(args) -> Row:
+    """One best-response walk in a (possibly worker) process."""
+    spec, profile, scheduler, max_rounds = args
+    return _run_walk(spec.build(), profile, scheduler, max_rounds)
 
 
 def max_cost_first_convergence_study(
@@ -34,62 +64,49 @@ def max_cost_first_convergence_study(
     num_starts: int = 10,
     max_rounds: int = 80,
     seed: SeedLike = 0,
+    processes: int = 1,
 ) -> List[Row]:
     """Observation 1: max-cost-first walks from random starts may cycle."""
-    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    rng = as_rng(seed)
     game = UniformBBCGame(n, k)
-    rows: List[Row] = []
-    for start_index in range(num_starts):
-        profile = random_initial_profile(game, seed=rng)
-        result = run_best_response_walk(
-            game,
-            profile,
-            scheduler="max_cost_first",
-            max_rounds=max_rounds,
-            detect_cycles=True,
-        )
-        rows.append(
-            {
-                "start": start_index,
-                "n": n,
-                "k": k,
-                "converged": result.reached_equilibrium,
-                "cycled": result.cycle_detected,
-                "rounds": result.rounds,
-                "deviations": result.deviations,
-                "final_social_cost": game.social_cost(result.final_profile),
-            }
-        )
-    return rows
+    spec = GameSpec.from_game(game)
+    starts = [random_initial_profile(game, seed=rng) for _ in range(num_starts)]
+    outcomes = parallel_map(
+        _walk_cell,
+        [(spec, profile, "max_cost_first", max_rounds) for profile in starts],
+        processes=processes,
+    )
+    return [
+        {"start": start_index, "n": n, "k": k, **outcome}
+        for start_index, outcome in enumerate(outcomes)
+    ]
+
+
+def _empty_start_cell(args) -> Row:
+    spec, max_rounds = args
+    game = spec.build()
+    outcome = _run_walk(game, empty_initial_profile(game), "max_cost_first", max_rounds)
+    outcome["optimum_lower_bound"] = game.minimum_possible_social_cost()
+    return outcome
 
 
 def empty_start_convergence_study(
-    sizes: Sequence[int], k: int, *, max_rounds: int = 120
+    sizes: Sequence[int],
+    k: int,
+    *,
+    max_rounds: int = 120,
+    processes: int = 1,
 ) -> List[Row]:
     """Observation 2: the empty-graph start appears to converge to stability."""
-    rows: List[Row] = []
-    for n in sizes:
-        game = UniformBBCGame(n, k)
-        result = run_best_response_walk(
-            game,
-            empty_initial_profile(game),
-            scheduler="max_cost_first",
-            max_rounds=max_rounds,
-            detect_cycles=True,
-        )
-        rows.append(
-            {
-                "n": n,
-                "k": k,
-                "converged": result.reached_equilibrium,
-                "cycled": result.cycle_detected,
-                "rounds": result.rounds,
-                "deviations": result.deviations,
-                "final_social_cost": game.social_cost(result.final_profile),
-                "optimum_lower_bound": game.minimum_possible_social_cost(),
-            }
-        )
-    return rows
+    specs = [GameSpec.from_game(UniformBBCGame(n, k)) for n in sizes]
+    outcomes = parallel_map(
+        _empty_start_cell,
+        [(spec, max_rounds) for spec in specs],
+        processes=processes,
+    )
+    return [
+        {"n": n, "k": k, **outcome} for n, outcome in zip(sizes, outcomes)
+    ]
 
 
 def engine_reuse_study(
@@ -138,6 +155,38 @@ def engine_reuse_study(
     ]
 
 
+def _scheduler_cell(args) -> Row:
+    """All starts of one scheduler: the cell owns its whole seed stream."""
+    spec, scheduler, num_starts, max_rounds, seed_value = args
+    game = spec.build()
+    rng = as_rng(seed_value)
+    converged = 0
+    cycled = 0
+    total_deviations = 0
+    for _ in range(num_starts):
+        profile = random_initial_profile(game, seed=rng)
+        result = run_best_response_walk(
+            game,
+            profile,
+            scheduler=scheduler,
+            max_rounds=max_rounds,
+            detect_cycles=True,
+            seed=rng,
+        )
+        converged += int(result.reached_equilibrium)
+        cycled += int(result.cycle_detected)
+        total_deviations += result.deviations
+    return {
+        "scheduler": scheduler,
+        "n": game.num_nodes,
+        "k": getattr(game, "k", None),
+        "starts": num_starts,
+        "converged": converged,
+        "cycled": cycled,
+        "mean_deviations": total_deviations / num_starts,
+    }
+
+
 def scheduler_comparison_study(
     n: int,
     k: int,
@@ -145,37 +194,22 @@ def scheduler_comparison_study(
     num_starts: int = 5,
     max_rounds: int = 80,
     seed: SeedLike = 0,
+    processes: int = 1,
 ) -> List[Row]:
-    """Compare round-robin, random, and max-cost-first schedules head to head."""
-    game = UniformBBCGame(n, k)
-    rows: List[Row] = []
-    for scheduler in ("round_robin", "random", "max_cost_first"):
-        rng = random.Random(seed if not isinstance(seed, random.Random) else 0)
-        converged = 0
-        cycled = 0
-        total_deviations = 0
-        for _ in range(num_starts):
-            profile = random_initial_profile(game, seed=rng)
-            result = run_best_response_walk(
-                game,
-                profile,
-                scheduler=scheduler,
-                max_rounds=max_rounds,
-                detect_cycles=True,
-                seed=rng,
-            )
-            converged += int(result.reached_equilibrium)
-            cycled += int(result.cycle_detected)
-            total_deviations += result.deviations
-        rows.append(
-            {
-                "scheduler": scheduler,
-                "n": n,
-                "k": k,
-                "starts": num_starts,
-                "converged": converged,
-                "cycled": cycled,
-                "mean_deviations": total_deviations / num_starts,
-            }
-        )
-    return rows
+    """Compare round-robin, random, and max-cost-first schedules head to head.
+
+    Each scheduler restarts the same seed stream, so the three cells are
+    independent and parallelise without changing any row.
+    """
+    import random
+
+    seed_value = 0 if isinstance(seed, random.Random) else seed
+    spec = GameSpec.from_game(UniformBBCGame(n, k))
+    return parallel_map(
+        _scheduler_cell,
+        [
+            (spec, scheduler, num_starts, max_rounds, seed_value)
+            for scheduler in ("round_robin", "random", "max_cost_first")
+        ],
+        processes=processes,
+    )

@@ -1,0 +1,171 @@
+"""Process-parallel study sweeps.
+
+Study grids and multi-start dynamics runs are embarrassingly parallel over
+their (n, k, seed) cells, but a :class:`~repro.core.BBCGame` drags its engine
+caches along and the engine registry is per-process anyway.  The contract
+here is therefore *rebuild, don't ship*: a cell crosses the process boundary
+as a compact picklable :class:`GameSpec` (plus plain parameters), and each
+worker rebuilds the game — and implicitly its
+:class:`~repro.engine.IndexedGame` / :class:`~repro.engine.CostEngine`
+through the ordinary shared-engine routed entry points — locally.
+
+:func:`parallel_map` is the only execution primitive: it preserves item
+order, falls back to a deterministic serial loop when ``processes == 1``
+(or when the platform cannot provide a pool), and therefore returns
+bit-identical results at any process count as long as the cell function is
+deterministic in its arguments.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..core import BBCGame, Objective, UniformBBCGame
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """A compact, picklable description of a game.
+
+    ``("uniform", (n, k, objective, penalty))`` for the (n, k)-uniform game,
+    or ``("general", (nodes, sparse tables, defaults, penalty, objective))``
+    for an arbitrary :class:`BBCGame`.  Workers call :meth:`build`; nothing
+    derived (graphs, engines, caches) ever crosses the process boundary.
+    """
+
+    kind: str
+    payload: tuple
+
+    @staticmethod
+    def from_game(game: BBCGame) -> "GameSpec":
+        """Capture ``game`` as a spec from which :meth:`build` rebuilds it."""
+        if isinstance(game, UniformBBCGame):
+            return GameSpec(
+                "uniform",
+                (game.n, game.k, game.objective.value, game.disconnection_penalty),
+            )
+        # The sparse tables are private to BBCGame but this module is part of
+        # the same subsystem; insertion order is preserved so the rebuilt
+        # game iterates identically to the original.
+        return GameSpec(
+            "general",
+            (
+                tuple(game.nodes),
+                tuple(game._weights.items()),
+                tuple(game._link_costs.items()),
+                tuple(game._link_lengths.items()),
+                tuple(game._budgets.items()),
+                game._default_weight,
+                game._default_link_cost,
+                game._default_link_length,
+                game._default_budget,
+                game.disconnection_penalty,
+                game.objective.value,
+            ),
+        )
+
+    def build(self) -> BBCGame:
+        """Rebuild the described game (fresh caches, fresh engine on first use)."""
+        if self.kind == "uniform":
+            n, k, objective, penalty = self.payload
+            return UniformBBCGame(
+                n, k, objective=Objective(objective), disconnection_penalty=penalty
+            )
+        if self.kind != "general":
+            raise ValueError(f"unknown GameSpec kind {self.kind!r}")
+        (
+            nodes,
+            weights,
+            link_costs,
+            link_lengths,
+            budgets,
+            default_weight,
+            default_link_cost,
+            default_link_length,
+            default_budget,
+            penalty,
+            objective,
+        ) = self.payload
+        return BBCGame(
+            nodes=nodes,
+            weights=dict(weights),
+            link_costs=dict(link_costs),
+            link_lengths=dict(link_lengths),
+            budgets=dict(budgets),
+            default_weight=default_weight,
+            default_link_cost=default_link_cost,
+            default_link_length=default_link_length,
+            default_budget=default_budget,
+            disconnection_penalty=penalty,
+            objective=Objective(objective),
+        )
+
+
+def resolve_processes(processes: Optional[int]) -> int:
+    """Normalise a ``processes`` argument (``None`` means one per CPU)."""
+    if processes is None:
+        return os.cpu_count() or 1
+    if processes < 1:
+        raise ValueError(f"processes must be at least 1 (got {processes})")
+    return processes
+
+
+def default_processes(cap: int = 4) -> int:
+    """Return the benchmarks' worker-count default: one per CPU, capped.
+
+    Study grids are small, so past a handful of workers fork overhead wins;
+    the benchmarks share this policy instead of re-deriving it.
+    """
+    return min(cap, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    processes: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results come back in item order regardless of process count, so a study
+    produces identical rows at ``processes=1`` (a plain deterministic loop —
+    no pool, no pickling) and ``processes=N``.  ``fn`` must be a module-level
+    callable and every item picklable when ``processes > 1``.  If the
+    platform cannot provide a process pool the call degrades to the serial
+    loop with a :class:`RuntimeWarning` instead of failing the study.
+    """
+    work: List[T] = list(items)
+    count = min(resolve_processes(processes), len(work))
+    if count <= 1:
+        return [fn(item) for item in work]
+    if chunksize is None:
+        chunksize = max(1, len(work) // (count * 4))
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (e.g. Windows)
+        context = multiprocessing.get_context()
+    try:
+        # Only pool *startup* failures trigger the serial fallback; an
+        # exception raised by ``fn`` inside a worker propagates unchanged.
+        pool = context.Pool(count)
+    except OSError as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc}); running {len(work)} cells serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in work]
+    with pool:
+        return pool.map(fn, work, chunksize)
+
+
+__all__ = ["GameSpec", "default_processes", "parallel_map", "resolve_processes"]

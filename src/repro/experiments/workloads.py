@@ -8,18 +8,10 @@ realistic (but fully reproducible) inputs.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core import BBCGame, Objective, StrategyProfile, UniformBBCGame
-
-SeedLike = Union[int, random.Random, None]
-
-
-def _rng(seed: SeedLike) -> random.Random:
-    if isinstance(seed, random.Random):
-        return seed
-    return random.Random(seed)
+from ..rng import SeedLike, as_rng as _rng
 
 
 def random_preference_game(

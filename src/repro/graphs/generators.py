@@ -7,18 +7,10 @@ seed so every experiment in the benchmark harness is reproducible.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence
 
+from ..rng import SeedLike, as_rng as _rng
 from .digraph import DiGraph
-
-SeedLike = Union[int, random.Random, None]
-
-
-def _rng(seed: SeedLike) -> random.Random:
-    """Normalise ``seed`` into a :class:`random.Random` instance."""
-    if isinstance(seed, random.Random):
-        return seed
-    return random.Random(seed)
 
 
 def empty_graph(n: int) -> DiGraph:

@@ -1,0 +1,26 @@
+"""Shared seed normalisation.
+
+Every stochastic entry point in the package (profile samplers, walk
+schedulers, workload generators) accepts a ``SeedLike``: an ``int`` seed, an
+existing :class:`random.Random` to draw from (so callers can interleave
+several consumers on one deterministic stream), or ``None`` for OS entropy.
+:func:`as_rng` is the single place that convention is implemented.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+SeedLike = Union[int, random.Random, None]
+
+
+def as_rng(seed: SeedLike) -> random.Random:
+    """Return ``seed`` itself when it already is a :class:`random.Random`,
+    otherwise a fresh generator seeded with it."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+__all__ = ["SeedLike", "as_rng"]

@@ -2,19 +2,11 @@
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Union
+from typing import List, Optional
 
+from ..rng import SeedLike, as_rng as _rng
 from .cnf import CNFFormula
 from .dpll import is_satisfiable
-
-SeedLike = Union[int, random.Random, None]
-
-
-def _rng(seed: SeedLike) -> random.Random:
-    if isinstance(seed, random.Random):
-        return seed
-    return random.Random(seed)
 
 
 def random_3sat(num_variables: int, num_clauses: int, seed: SeedLike = None) -> CNFFormula:
