@@ -12,13 +12,21 @@ future PRs, plus a rendered table in ``BENCH_speed.txt``.
 search (n = 7, k = 2 uniform, Gray order + incremental checks vs a
 from-scratch check per profile), the Figure 4 completion scan, and one
 process-parallel study grid — and merges them into the same JSON under
-``sweep_results``, preserving whatever the other mode last wrote.
+``sweep_results``, preserving whatever the other modes last wrote.
+
+``--fractional`` runs the fractional-game scenarios — iterated best-response
+dynamics from the empty profile and the epsilon-equilibrium report of the
+resulting profile, both against the shared-structure
+:class:`~repro.engine.FractionalEngine` (cached environment flow networks +
+sparse patched LPs) and the from-scratch FlowNetwork / dense-LP reference —
+and merges them under ``fractional_results`` the same way.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_speed.py                    # core scenarios
-    PYTHONPATH=src python scripts/bench_speed.py --sweep            # sweep scenarios
-    PYTHONPATH=src python scripts/bench_speed.py --smoke [--sweep]  # seconds, CI-friendly
+    PYTHONPATH=src python scripts/bench_speed.py                      # core scenarios
+    PYTHONPATH=src python scripts/bench_speed.py --sweep              # sweep scenarios
+    PYTHONPATH=src python scripts/bench_speed.py --fractional         # fractional scenarios
+    PYTHONPATH=src python scripts/bench_speed.py --smoke [--sweep | --fractional]
 
 The reference path is skipped above ``--max-reference-n`` (default 32: at
 n = 64 the dict-based oracle takes minutes for no extra information — the
@@ -37,13 +45,16 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import (  # noqa: E402
+    FractionalBBCGame,
     UniformBBCGame,
+    epsilon_equilibrium_report,
     equilibrium_report,
     exhaustive_equilibrium_search,
+    iterated_best_response,
 )
 from repro.core.search import candidate_strategy_sets  # noqa: E402
 from repro.dynamics import reconstruct_figure4, run_best_response_walk  # noqa: E402
-from repro.engine import CostEngine  # noqa: E402
+from repro.engine import CostEngine, FractionalEngine  # noqa: E402
 from repro.experiments import (  # noqa: E402
     default_processes,
     max_cost_first_convergence_study,
@@ -60,6 +71,11 @@ WALK_MAX_ROUNDS = 8
 #: The exhaustive-search sweep scenario must stay at least this much faster
 #: than the from-scratch reference; the script exits non-zero below it.
 SWEEP_SPEEDUP_FLOOR = 5.0
+#: The fractional dynamics scenario must stay at least this much faster than
+#: the FlowNetwork / dense-LP reference at the largest size benchmarked.
+FRACTIONAL_SPEEDUP_FLOOR = 3.0
+FRACTIONAL_MAX_ROUNDS = 12
+FRACTIONAL_TOLERANCE = 1e-5
 
 
 def time_call(fn, repeats):
@@ -221,6 +237,70 @@ def bench_study_grid(repeats, smoke):
     }
 
 
+def bench_fractional_dynamics(n, repeats):
+    """Iterated fractional best responses from the empty profile.
+
+    A fresh :class:`FractionalEngine` per timed call keeps the comparison
+    cold-for-cold against the per-call FlowNetwork / dense-LP reference.
+    Returns the row plus both final profiles so the report scenario can
+    certify them without re-running the dynamics.
+    """
+    game = FractionalBBCGame(UniformBBCGame(n, K))
+    initial = game.empty_profile()
+
+    def run(engine):
+        return iterated_best_response(
+            game,
+            initial,
+            max_rounds=FRACTIONAL_MAX_ROUNDS,
+            tolerance=FRACTIONAL_TOLERANCE,
+            engine=engine,
+        )
+
+    engine_time, engine_result = time_call(lambda: run(FractionalEngine(game)), repeats)
+    reference_time, reference_result = time_call(lambda: run(False), repeats)
+    assert engine_result.rounds == reference_result.rounds
+    assert engine_result.converged == reference_result.converged
+    assert abs(engine_result.max_final_regret - reference_result.max_final_regret) < 1e-9
+    row = {
+        "task": "fractional_dynamics",
+        "n": n,
+        "k": K,
+        "rounds": engine_result.rounds,
+        "converged": engine_result.converged,
+        "engine_seconds": engine_time,
+        "reference_seconds": reference_time,
+        "speedup": reference_time / engine_time,
+    }
+    return row, game, engine_result.profile
+
+
+def bench_fractional_report(n, repeats, game, profile):
+    """Epsilon-equilibrium certification of the dynamics' final profile."""
+    engine_time, engine_report = time_call(
+        lambda: epsilon_equilibrium_report(
+            game, profile, FRACTIONAL_TOLERANCE, engine=FractionalEngine(game)
+        ),
+        repeats,
+    )
+    reference_time, reference_report = time_call(
+        lambda: epsilon_equilibrium_report(
+            game, profile, FRACTIONAL_TOLERANCE, engine=False
+        ),
+        repeats,
+    )
+    assert abs(engine_report.max_regret - reference_report.max_regret) < 1e-9
+    return {
+        "task": "fractional_report",
+        "n": n,
+        "k": K,
+        "max_regret": engine_report.max_regret,
+        "engine_seconds": engine_time,
+        "reference_seconds": reference_time,
+        "speedup": reference_time / engine_time,
+    }
+
+
 def render_table(rows):
     lines = [
         f"{'task':<24} {'n':>4} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
@@ -261,6 +341,18 @@ def run_sweep_scenarios(args, repeats):
     return rows
 
 
+def run_fractional_scenarios(args, repeats):
+    sizes = [5, 6] if args.smoke else [8, 10, 12, 14]
+    rows = []
+    for n in sizes:
+        print(f"benchmarking fractional dynamics n={n} (engine vs reference) ...")
+        row, game, profile = bench_fractional_dynamics(n, repeats)
+        rows.append(row)
+        print(f"benchmarking fractional equilibrium report n={n} ...")
+        rows.append(bench_fractional_report(n, repeats, game, profile))
+    return sizes, rows
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -273,6 +365,13 @@ def main():
         action="store_true",
         help="run the sweep-engine scenarios (exhaustive search, figure-4 "
         "scan, parallel study grid) instead of the core per-call scenarios",
+    )
+    parser.add_argument(
+        "--fractional",
+        action="store_true",
+        help="run the fractional-game scenarios (iterated best-response "
+        "dynamics and epsilon-equilibrium reports, FractionalEngine vs the "
+        "FlowNetwork / dense-LP reference) instead of the core scenarios",
     )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
     parser.add_argument(
@@ -307,10 +406,18 @@ def main():
         "python": platform.python_version(),
     }
 
+    if args.sweep and args.fractional:
+        parser.error("--sweep and --fractional are mutually exclusive")
+
     if args.sweep:
         rows = run_sweep_scenarios(args, repeats)
         payload["sweep_results"] = rows
         payload["sweep_meta"] = meta
+    elif args.fractional:
+        sizes, rows = run_fractional_scenarios(args, repeats)
+        payload["fractional_sizes"] = sizes
+        payload["fractional_results"] = rows
+        payload["fractional_meta"] = meta
     else:
         sizes, rows = run_core_scenarios(args, repeats)
         payload["sizes"] = sizes
@@ -322,11 +429,31 @@ def main():
 
     json_path.write_text(json.dumps(payload, indent=2) + "\n")
     table = render_table(rows)
-    table_path = OUTPUT_DIR / ("BENCH_speed_sweep.txt" if args.sweep else "BENCH_speed.txt")
+    if args.sweep:
+        table_name = "BENCH_speed_sweep.txt"
+    elif args.fractional:
+        table_name = "BENCH_speed_fractional.txt"
+    else:
+        table_name = "BENCH_speed.txt"
+    table_path = OUTPUT_DIR / table_name
     table_path.write_text(table + "\n")
     print("\n" + table)
     print(f"\nwrote {json_path}")
 
+    if args.fractional:
+        if args.smoke:
+            # Smoke sizes are too tiny for a stable floor, as in the other modes.
+            return 0
+        dynamics_rows = [row for row in rows if row["task"] == "fractional_dynamics"]
+        largest = max(dynamics_rows, key=lambda row: row["n"])
+        if largest["speedup"] < FRACTIONAL_SPEEDUP_FLOOR:
+            print(
+                f"WARNING: fractional_dynamics speedup at n={largest['n']} fell "
+                f"below {FRACTIONAL_SPEEDUP_FLOOR:g}x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.sweep:
         if args.smoke:
             # Like the core gate (which only applies at n >= 32, beyond smoke

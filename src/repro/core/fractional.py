@@ -12,26 +12,40 @@ Theorem 3 proves a pure Nash equilibrium always exists because each player's
 strategy space is a convex polytope and its cost is convex in its own
 strategy.  The reproduction exercises this computationally:
 
-* node costs are evaluated with the from-scratch min-cost-flow solver in
-  :mod:`repro.graphs.flow`;
+* node costs are evaluated as min-cost unit flows; by default the shared
+  :class:`~repro.engine.fractional_engine.FractionalEngine` evaluates them on
+  cached per-``(version, node)`` environment flow networks with the penalty
+  applied as an overflow price, while ``engine=False`` selects the reference
+  from-scratch :mod:`repro.graphs.flow` path;
 * exact best responses are computed by a single linear program
-  (:func:`fractional_best_response`) built on :func:`scipy.optimize.linprog`;
+  (:func:`fractional_best_response`) built on :func:`scipy.optimize.linprog`
+  — sparse, assembled once per node, and patched per profile change on the
+  engine path (with cached solves skipping the LP when the node's
+  environment is unchanged); dense and from scratch on the reference path;
 * :func:`iterated_best_response` runs best-response dynamics and
-  :func:`epsilon_equilibrium_report` certifies (approximate) equilibria.
+  :func:`epsilon_equilibrium_report` certifies (approximate) equilibria, the
+  latter optionally fanning out across worker processes via
+  :mod:`repro.experiments.parallel`.
+
+Every evaluation entry point takes the tri-state ``engine`` keyword shared
+with the integral paths: ``None`` (default) uses the shared per-game engine,
+``False`` the reference implementation, and an explicit
+:class:`~repro.engine.fractional_engine.FractionalEngine` controls cache
+sharing.  ``tests/test_fractional_engine.py`` pins the two paths against each
+other within ``1e-9``.
 
 Only the sum objective is supported, matching the paper's fractional model.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
-from ..graphs import FlowNetwork, InfeasibleFlow
+from ..graphs import FlowNetwork
 from .errors import BBCError, InvalidStrategy
 from .game import BBCGame
 from .objectives import Objective
@@ -173,7 +187,14 @@ class FractionalBBCGame:
                 per_target_budget = budget / len(others)
                 for target in others:
                     price = self.base.link_cost(node, target)
-                    row[target] = per_target_budget / price if price > 0 else 1.0
+                    if price > 0:
+                        row[target] = per_target_budget / price
+                    else:
+                        # A zero-price link is free, so the even split buys
+                        # the full unit of capacity a unit flow can ever use
+                        # — deliberately more than the (meaningless) evenly
+                        # split share.
+                        row[target] = 1.0
             strategies[node] = row
         return FractionalProfile(strategies)
 
@@ -181,17 +202,29 @@ class FractionalBBCGame:
     # Costs
     # ------------------------------------------------------------------ #
     def destination_cost(
-        self, profile: FractionalProfile, source: Node, destination: Node
+        self, profile: FractionalProfile, source: Node, destination: Node, *, engine=None
     ) -> float:
         """Return the min-cost unit-flow cost from ``source`` to ``destination``.
 
         The flow network contains one edge per positive purchased capacity
-        (cost = link length) plus a single uncapacitated ``source ->
-        destination`` edge of cost ``M``.  The paper places an ``M`` edge
-        between *every* pair; because ``M`` dominates every realisable path
-        length, an optimal flow never uses more than one ``M`` edge, so the
-        single direct edge yields the same optimum value.
+        (cost = link length) plus a single ``source -> destination`` edge of
+        cost ``M`` with capacity ``1.0`` — exactly enough to absorb the whole
+        unit flow, so it behaves like the paper's uncapacitated penalty edge.
+        The paper places an ``M`` edge between *every* pair; because ``M``
+        dominates every realisable path length, an optimal flow never uses
+        more than one ``M`` edge, so the single direct edge yields the same
+        optimum value.
+
+        ``engine=None`` (default) evaluates on the shared
+        :class:`~repro.engine.fractional_engine.FractionalEngine`'s cached
+        environment networks; ``engine=False`` rebuilds the network from
+        scratch as described above.
         """
+        from ..engine import resolve_fractional_engine
+
+        resolved = resolve_fractional_engine(self, engine)
+        if resolved is not None:
+            return resolved.destination_cost(profile, source, destination)
         network = FlowNetwork()
         network.add_node(source)
         network.add_node(destination)
@@ -199,12 +232,17 @@ class FractionalBBCGame:
             for head, amount in profile[tail].items():
                 if amount > _EPS:
                     network.add_edge(tail, head, amount, self.base.link_length(tail, head))
-        network.add_edge(source, destination, 2.0, self.base.disconnection_penalty)
+        network.add_edge(source, destination, 1.0, self.base.disconnection_penalty)
         cost, _ = network.min_cost_flow(source, destination, 1.0)
         return cost
 
-    def node_cost(self, profile: FractionalProfile, node: Node) -> float:
+    def node_cost(self, profile: FractionalProfile, node: Node, *, engine=None) -> float:
         """Return the preference-weighted sum of unit-flow costs for ``node``."""
+        from ..engine import resolve_fractional_engine
+
+        resolved = resolve_fractional_engine(self, engine)
+        if resolved is not None:
+            return resolved.node_cost(profile, node)
         total = 0.0
         for target in self.nodes:
             if target == node:
@@ -212,16 +250,21 @@ class FractionalBBCGame:
             weight = self.base.weight(node, target)
             if weight <= 0:
                 continue
-            total += weight * self.destination_cost(profile, node, target)
+            total += weight * self.destination_cost(profile, node, target, engine=False)
         return total
 
-    def all_costs(self, profile: FractionalProfile) -> Dict[Node, float]:
+    def all_costs(self, profile: FractionalProfile, *, engine=None) -> Dict[Node, float]:
         """Return the cost of every node under ``profile``."""
-        return {node: self.node_cost(profile, node) for node in self.nodes}
+        from ..engine import resolve_fractional_engine
 
-    def social_cost(self, profile: FractionalProfile) -> float:
+        resolved = resolve_fractional_engine(self, engine)
+        if resolved is not None:
+            return resolved.all_costs(profile)
+        return {node: self.node_cost(profile, node, engine=False) for node in self.nodes}
+
+    def social_cost(self, profile: FractionalProfile, *, engine=None) -> float:
         """Return the total cost over all nodes."""
-        return sum(self.all_costs(profile).values())
+        return sum(self.all_costs(profile, engine=engine).values())
 
 
 @dataclass(frozen=True)
@@ -241,7 +284,7 @@ class FractionalBestResponse:
 
 
 def fractional_best_response(
-    game: FractionalBBCGame, profile: FractionalProfile, node: Node
+    game: FractionalBBCGame, profile: FractionalProfile, node: Node, *, engine=None
 ) -> FractionalBestResponse:
     """Compute an exact best response for ``node`` by solving one LP.
 
@@ -251,9 +294,21 @@ def fractional_best_response(
     capacities, and the penalty edge.  The LP minimises the preference-
     weighted total flow cost subject to flow conservation, capacity coupling,
     and the budget constraint.
+
+    ``engine=None`` (default) solves on the shared
+    :class:`~repro.engine.fractional_engine.FractionalEngine` — sparse
+    assembly reused across calls, capacities patched per profile change, and
+    the LP skipped outright when a cached solve against the same environment
+    already certifies the minimum.  ``engine=False`` keeps the from-scratch
+    dense assembly below as the reference.
     """
+    from ..engine import resolve_fractional_engine
+
+    resolved = resolve_fractional_engine(game, engine)
+    if resolved is not None:
+        return resolved.best_response(profile, node)
     base = game.base
-    current_cost = game.node_cost(profile, node)
+    current_cost = game.node_cost(profile, node, engine=False)
 
     candidates = [v for v in base.nodes if v != node]
     targets = [v for v in candidates if base.weight(node, v) > 0]
@@ -411,34 +466,40 @@ def iterated_best_response(
     *,
     max_rounds: int = 30,
     tolerance: float = 1e-5,
+    engine=None,
 ) -> FractionalDynamicsResult:
     """Run round-robin fractional best-response dynamics.
 
     Theorem 3 guarantees an equilibrium *exists*; it does not guarantee this
     particular dynamic converges, so the result records whether the run
-    stopped because no node could improve by more than ``tolerance``.
+    stopped because no node could improve by more than ``tolerance``.  In
+    *both* exit paths ``converged`` is derived from the certified closing
+    report rather than from the absence of moves: moves are gated by the
+    fixed ``1e-6`` improvement threshold inside
+    :func:`fractional_best_response`, so with ``tolerance < 1e-6`` a
+    no-move round may still leave regrets above ``tolerance``.
     """
     profile = initial if initial is not None else game.even_split_profile()
     game.validate_profile(profile)
-    history: List[float] = [game.social_cost(profile)]
+    history: List[float] = [game.social_cost(profile, engine=engine)]
     for round_index in range(1, max_rounds + 1):
         any_improvement = False
         for node in game.nodes:
-            response = fractional_best_response(game, profile, node)
+            response = fractional_best_response(game, profile, node, engine=engine)
             if response.improved and response.regret > tolerance:
                 profile = profile.with_strategy(node, response.best_strategy)
                 any_improvement = True
-        history.append(game.social_cost(profile))
+        history.append(game.social_cost(profile, engine=engine))
         if not any_improvement:
-            report = epsilon_equilibrium_report(game, profile, tolerance)
+            report = epsilon_equilibrium_report(game, profile, tolerance, engine=engine)
             return FractionalDynamicsResult(
                 profile=profile,
                 rounds=round_index,
-                converged=True,
+                converged=report.max_regret <= tolerance,
                 max_final_regret=report.max_regret,
                 cost_history=history,
             )
-    report = epsilon_equilibrium_report(game, profile, tolerance)
+    report = epsilon_equilibrium_report(game, profile, tolerance, engine=engine)
     return FractionalDynamicsResult(
         profile=profile,
         rounds=max_rounds,
@@ -466,14 +527,56 @@ class EpsilonEquilibriumReport:
         return self.max_regret <= self.epsilon
 
 
+def _regret_cell(args) -> float:
+    """Worker cell: one node's best-response regret, game rebuilt in-process.
+
+    ``args`` is ``(spec, strategies, node, engine_flag)`` where ``spec`` is a
+    picklable :class:`~repro.experiments.parallel.GameSpec` of the base game
+    and ``strategies`` the profile as nested tuples — nothing derived (flow
+    networks, LP skeletons, caches) ever crosses the process boundary.
+    """
+    spec, strategies, node, engine_flag = args
+    game = spec.build_fractional()
+    profile = FractionalProfile({n: dict(row) for n, row in strategies})
+    return fractional_best_response(game, profile, node, engine=engine_flag).regret
+
+
 def epsilon_equilibrium_report(
-    game: FractionalBBCGame, profile: FractionalProfile, epsilon: float = 1e-5
+    game: FractionalBBCGame,
+    profile: FractionalProfile,
+    epsilon: float = 1e-5,
+    *,
+    engine=None,
+    processes: Optional[int] = 1,
 ) -> EpsilonEquilibriumReport:
-    """Certify ``profile`` as an epsilon-equilibrium (or report who deviates)."""
+    """Certify ``profile`` as an epsilon-equilibrium (or report who deviates).
+
+    ``processes`` fans the per-node best responses out over worker processes
+    via :func:`repro.experiments.parallel.parallel_map` (``1`` — the default —
+    runs the deterministic serial loop, ``None`` means one per CPU).  Regrets
+    are identical at any process count; workers rebuild the game from a
+    :class:`~repro.experiments.parallel.GameSpec` and honour ``engine=False``,
+    while an explicit engine instance cannot cross the process boundary and
+    each worker uses its own shared engine instead.
+    """
     game.validate_profile(profile)
-    regrets = {
-        node: fractional_best_response(game, profile, node).regret for node in game.nodes
-    }
+    from ..experiments.parallel import GameSpec, parallel_map, resolve_processes
+
+    nodes = game.nodes
+    if resolve_processes(processes) <= 1 or len(nodes) <= 1:
+        regrets = {
+            node: fractional_best_response(game, profile, node, engine=engine).regret
+            for node in nodes
+        }
+    else:
+        spec = GameSpec.from_fractional_game(game)
+        strategies = tuple(
+            (node, tuple(profile[node].items())) for node in profile
+        )
+        engine_flag = False if engine is False else None
+        items = [(spec, strategies, node, engine_flag) for node in nodes]
+        values = parallel_map(_regret_cell, items, processes=processes)
+        regrets = dict(zip(nodes, values))
     return EpsilonEquilibriumReport(regrets=regrets, epsilon=epsilon)
 
 
@@ -482,8 +585,18 @@ def integral_to_fractional(profile_edges: Iterable[Tuple[Node, Node]], nodes: It
 
     Each purchased link becomes one unit of capacity, which reproduces the
     integral distances exactly (a unit flow along a path of unit capacities).
+    Every edge endpoint must belong to ``nodes``; an unknown tail or head
+    raises :class:`InvalidStrategy` instead of silently inventing a player.
     """
     strategies: Dict[Node, Dict[Node, float]] = {node: {} for node in nodes}
     for tail, head in profile_edges:
-        strategies.setdefault(tail, {})[head] = 1.0
+        if tail not in strategies:
+            raise InvalidStrategy(
+                f"edge ({tail!r}, {head!r}) has a tail outside the node set"
+            )
+        if head not in strategies:
+            raise InvalidStrategy(
+                f"edge ({tail!r}, {head!r}) has a head outside the node set"
+            )
+        strategies[tail][head] = 1.0
     return FractionalProfile(strategies)

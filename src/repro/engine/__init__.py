@@ -59,16 +59,33 @@ from which each worker rebuilds the game and its :class:`IndexedGame`/
 ``parallel_map(fn, items, processes=...)`` preserves item order and falls
 back to a deterministic serial loop when ``processes == 1``.
 
+**The fractional contract.**  The fractional relaxation
+(:mod:`repro.core.fractional`) has its own engine,
+:class:`~repro.engine.fractional_engine.FractionalEngine`, built on the same
+:class:`IndexedGame` mapping and the same version-stamp discipline: the
+profile's edge list is materialised once per version, per-``(version, node)``
+*environment* flow networks (everyone else's purchases) serve every
+destination through ``min_cost_flow(..., overflow_cost=M)``, a single-mover
+sync preserves the mover's environment network, and best-response LPs are
+assembled sparse once per node and only patched while the environment's edge
+structure holds.  ``get_fractional_engine`` / ``resolve_fractional_engine``
+mirror the integral registry and tri-state ``engine`` kwarg.
+
 The dict-based :class:`~repro.core.best_response.DeviationOracle` remains in
 the tree as the reference implementation; ``tests/test_engine_parity.py``
 asserts bit-identical costs and regrets between the two, and
-``scripts/bench_speed.py`` (``--sweep`` for the sweep scenarios) tracks the
-speedup.
+``scripts/bench_speed.py`` (``--sweep`` for the sweep scenarios,
+``--fractional`` for the fractional ones) tracks the speedup.
 """
 
 from weakref import WeakKeyDictionary
 
 from .cost_engine import CostEngine, StrategyScorer
+from .fractional_engine import (
+    FractionalEngine,
+    get_fractional_engine,
+    resolve_fractional_engine,
+)
 from .indexed import IndexedGame
 from .sweep import SweepEvaluator, gray_code_profiles
 
@@ -110,9 +127,12 @@ def resolve_engine(game, engine) -> "CostEngine | None":
 __all__ = [
     "CostEngine",
     "StrategyScorer",
+    "FractionalEngine",
     "IndexedGame",
     "SweepEvaluator",
     "gray_code_profiles",
     "get_engine",
+    "get_fractional_engine",
     "resolve_engine",
+    "resolve_fractional_engine",
 ]

@@ -1,0 +1,604 @@
+"""Engine-backed evaluation of fractional BBC games.
+
+The reference path in :mod:`repro.core.fractional` rebuilds a
+:class:`~repro.graphs.FlowNetwork` per ``(source, destination)`` query and
+reassembles a dense LP per best response, which caps iterated fractional
+dynamics at a handful of nodes.  :class:`FractionalEngine` amortises the
+fixed structure across solves, mirroring the integral
+:class:`~repro.engine.cost_engine.CostEngine` contract:
+
+* **Index contract** — the engine keys on :class:`~repro.engine.indexed
+  .IndexedGame`'s dense int mapping; profiles are canonicalised once per sync
+  into per-node ``(head_int, amount)`` rows and every cache below speaks ints.
+* **Version stamps** — :meth:`sync` diffs the incoming
+  :class:`~repro.core.fractional.FractionalProfile` against the engine's
+  snapshot and bumps a monotonically increasing ``version`` only when
+  something changed.  The profile edge list is materialised once per version.
+  Each node additionally carries an *environment version* — the version at
+  which any **other** node last changed — because everything a best response
+  needs besides the node's own purchases depends only on that environment.
+* **Per-``(version, node)`` environment flow networks** — ``node_cost`` and
+  ``destination_cost`` evaluate min-cost unit flows on a cached
+  :class:`~repro.graphs.FlowNetwork` holding everyone *else's* edges; the
+  probing node's own edges are appended behind an arc mark and rolled back
+  with :meth:`~repro.graphs.FlowNetwork.truncate`, and the disconnection
+  penalty is applied by ``min_cost_flow(..., overflow_cost=M)`` instead of a
+  per-pair penalty edge, so the same network serves every destination.  A
+  single-mover sync preserves the mover's own environment network (its
+  environment is untouched), the exact analogue of ``CostEngine``'s
+  ``d_{G-u}`` row preservation.  ``destination_cost`` results are cached per
+  version.
+* **Sparse, patched best-response LPs** — the LP of
+  :func:`~repro.core.fractional.fractional_best_response` is assembled once
+  per node from COO triplets (``scipy.sparse``), keyed on the environment's
+  edge *structure*; while the structure holds, later profiles only patch the
+  capacity entries of ``b_ub``.  Solved best responses are cached against the
+  node's environment version, so a probe whose environment is unchanged —
+  every node during the equilibrium report that follows converged dynamics —
+  skips the LP entirely.
+
+The reference FlowNetwork/LP path stays available through ``engine=False`` on
+every routed entry point; ``tests/test_fractional_engine.py`` pins costs and
+regrets between the two within ``1e-9``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from ..core.errors import BBCError, InvalidProfile
+from ..graphs.flow import FlowNetwork
+from .indexed import IndexedGame
+
+Node = Hashable
+
+#: Mirrors ``repro.core.fractional._EPS``: the threshold below which a
+#: purchased capacity is treated as zero.
+_AMOUNT_EPS = 1e-7
+#: Mirrors the reference best response's fixed improvement threshold.
+_IMPROVEMENT_EPS = 1e-6
+
+
+class _NodeLP:
+    """Assembled LP skeleton for one node's best response.
+
+    Everything except the environment-capacity entries of ``b_ub`` is fixed
+    while the environment's edge *structure* (which ``(tail, head)`` pairs
+    carry positive capacity) is unchanged, so re-solves only patch those
+    right-hand sides.
+    """
+
+    __slots__ = (
+        "structure",
+        "c",
+        "A_ub",
+        "A_eq",
+        "b_eq",
+        "b_ub_template",
+        "bounds",
+        "candidates",
+        "num_env",
+        "num_targets",
+    )
+
+    def __init__(self, structure, c, A_ub, A_eq, b_eq, b_ub_template, bounds, candidates, num_env, num_targets):
+        self.structure = structure
+        self.c = c
+        self.A_ub = A_ub
+        self.A_eq = A_eq
+        self.b_eq = b_eq
+        self.b_ub_template = b_ub_template
+        self.bounds = bounds
+        self.candidates = candidates
+        self.num_env = num_env
+        self.num_targets = num_targets
+
+
+class FractionalEngine:
+    """Shared-structure evaluator bound to one fractional game.
+
+    The engine is stateful: :meth:`sync` points it at a profile (diffing
+    against the previous one), after which :meth:`destination_cost`,
+    :meth:`node_cost`, :meth:`all_costs`, and :meth:`best_response` evaluate
+    against the cached snapshot.  Costs and regrets match the reference
+    FlowNetwork/LP path within ``1e-9``.
+    """
+
+    def __init__(self, game) -> None:
+        # Weak back-reference for check_game (a strong one would pin the
+        # per-game registry entry); the base integral game is held strongly —
+        # it does not key any registry and the LP assembly reads its link
+        # costs and budgets.
+        self._game_ref = weakref.ref(game)
+        self._base = game.base
+        self.indexed = IndexedGame(game.base)
+        #: Bumped on every observed profile change; per-version caches key on it.
+        self.version = 0
+        # Per-node canonical strategies: tuple of (head_int, amount) pairs in
+        # the profile row's insertion order (kept aligned with the reference
+        # path's iteration order so LP variable layouts coincide).
+        self._strategies: Optional[List[Tuple[Tuple[int, float], ...]]] = None
+        #: Version at which node u's *environment* (everyone else) last changed.
+        self._env_version: List[int] = [0] * self.indexed.n
+        # Current version's full edge list [(tail, head, amount, length)].
+        self._edges: Optional[List[Tuple[int, int, float, float]]] = None
+        # node u -> (env_version at build, FlowNetwork of everyone else's edges)
+        self._env_nets: Dict[int, Tuple[int, FlowNetwork]] = {}
+        # (source, dest) -> min-cost unit-flow cost; valid for current version.
+        self._dest_cache: Dict[Tuple[int, int], float] = {}
+        self._node_cost_cache: Dict[int, float] = {}
+        # node u -> (env_version at solve, best_cost, best_strategy labels)
+        self._br_cache: Dict[int, Tuple[int, float, Dict[Node, float]]] = {}
+        # node u -> assembled LP skeleton, reused while the structure matches.
+        self._lp_cache: Dict[int, _NodeLP] = {}
+        #: Cache observability, mirroring ``CostEngine.stats``.
+        self.stats: Dict[str, int] = {
+            "flow_solves": 0,
+            "dest_cached": 0,
+            "lp_solved": 0,
+            "lp_skipped": 0,
+            "lp_patched": 0,
+            "lp_assembled": 0,
+            "noop_syncs": 0,
+            "local_syncs": 0,
+            "full_syncs": 0,
+        }
+
+    def check_game(self, game) -> None:
+        """Raise ``ValueError`` when this engine was built for a different game."""
+        if self._game_ref() is not game:
+            raise ValueError(
+                "this FractionalEngine was built for a different game instance; "
+                "create one with FractionalEngine(game) or use "
+                "repro.engine.get_fractional_engine(game)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Profile synchronisation
+    # ------------------------------------------------------------------ #
+    def sync(self, profile) -> Optional[Tuple[int, ...]]:
+        """Point the engine at ``profile``, invalidating as little as possible.
+
+        Returns the dense int ids of the nodes whose purchase rows changed —
+        ``()`` for a no-op sync — or ``None`` on the first sync.  A
+        single-mover change preserves the mover's environment network, its
+        environment version, and therefore its cached best response.
+        """
+        indexed = self.indexed
+        index = indexed.index
+        try:
+            raw = [profile[label] for label in indexed.labels]
+        except KeyError as exc:
+            raise InvalidProfile(f"profile is missing node {exc.args[0]!r}") from None
+        try:
+            canonical = [
+                tuple((index[head], float(amount)) for head, amount in row.items())
+                for row in raw
+            ]
+        except KeyError as exc:
+            raise InvalidProfile(
+                f"profile buys capacity towards unknown node {exc.args[0]!r}"
+            ) from None
+
+        old = self._strategies
+        if old is not None:
+            changed = [u for u in range(indexed.n) if canonical[u] != old[u]]
+            if not changed:
+                self.stats["noop_syncs"] += 1
+                return ()
+        else:
+            changed = None
+
+        self._strategies = canonical
+        self.version += 1
+        self._edges = None
+        self._dest_cache.clear()
+        self._node_cost_cache.clear()
+        if changed is not None and len(changed) == 1:
+            self.stats["local_syncs"] += 1
+            mover = changed[0]
+            for v in range(indexed.n):
+                if v != mover:
+                    self._env_version[v] = self.version
+            # The mover's environment never contained its own edges, so its
+            # network (and anything stamped with its env version) survives.
+            kept = self._env_nets.get(mover)
+            self._env_nets.clear()
+            if kept is not None and kept[0] == self._env_version[mover]:
+                self._env_nets[mover] = kept
+        else:
+            self.stats["full_syncs"] += 1
+            for v in range(indexed.n):
+                self._env_version[v] = self.version
+            self._env_nets.clear()
+        return tuple(changed) if changed is not None else None
+
+    def _require_sync(self) -> None:
+        if self._strategies is None:
+            raise InvalidProfile("FractionalEngine.sync(profile) must be called first")
+
+    # ------------------------------------------------------------------ #
+    # Flow evaluation
+    # ------------------------------------------------------------------ #
+    def _edge_list(self) -> List[Tuple[int, int, float, float]]:
+        """Materialise the profile's positive-capacity edges once per version."""
+        edges = self._edges
+        if edges is None:
+            edges = []
+            length_rows = self.indexed.length_rows
+            for tail, row in enumerate(self._strategies):
+                lengths = length_rows[tail]
+                for head, amount in row:
+                    if amount > _AMOUNT_EPS:
+                        edges.append((tail, head, amount, lengths[head]))
+            self._edges = edges
+        return edges
+
+    def _env_network(self, u: int) -> FlowNetwork:
+        """Return the cached flow network of everyone's edges except ``u``'s."""
+        stamp = self._env_version[u]
+        entry = self._env_nets.get(u)
+        if entry is not None and entry[0] == stamp:
+            return entry[1]
+        net = FlowNetwork()
+        for v in range(self.indexed.n):
+            net.add_node(v)
+        for tail, head, amount, length in self._edge_list():
+            if tail != u:
+                net.add_edge(tail, head, amount, length)
+        self._env_nets[u] = (stamp, net)
+        return net
+
+    def _costs_with_own(
+        self, u: int, own_row: Sequence[Tuple[int, float]], targets: Sequence[int]
+    ) -> List[float]:
+        """Unit-flow costs from ``u`` to each target given ``u``'s own edges.
+
+        The own edges ride on the cached environment network behind an arc
+        mark and are rolled back afterwards, so the network stays exactly the
+        environment for the next caller.
+        """
+        net = self._env_network(u)
+        mark = net.arc_count()
+        lengths = self.indexed.length_rows[u]
+        penalty = self.indexed.penalty
+        costs: List[float] = []
+        try:
+            for head, amount in own_row:
+                if amount > _AMOUNT_EPS:
+                    net.add_edge(u, head, amount, lengths[head])
+            for t in targets:
+                cost, _ = net.min_cost_flow(u, t, 1.0, overflow_cost=penalty)
+                self.stats["flow_solves"] += 1
+                costs.append(cost)
+        finally:
+            net.truncate(mark)
+        return costs
+
+    def _to_int(self, label: Node) -> int:
+        try:
+            return self.indexed.index[label]
+        except KeyError:
+            raise InvalidProfile(f"node {label!r} is not part of this game") from None
+
+    def destination_cost(self, profile, source: Node, destination: Node) -> float:
+        """Return the min-cost unit-flow cost from ``source`` to ``destination``."""
+        self.sync(profile)
+        s = self._to_int(source)
+        d = self._to_int(destination)
+        key = (s, d)
+        cached = self._dest_cache.get(key)
+        if cached is not None:
+            self.stats["dest_cached"] += 1
+            return cached
+        cost = self._costs_with_own(s, self._strategies[s], (d,))[0]
+        self._dest_cache[key] = cost
+        return cost
+
+    def _node_cost_int(self, u: int) -> float:
+        cached = self._node_cost_cache.get(u)
+        if cached is not None:
+            return cached
+        indexed = self.indexed
+        targets = indexed.target_rows[u]
+        weights = indexed.target_weight_rows[u]
+        dest_cache = self._dest_cache
+        missing = [t for t in targets if (u, t) not in dest_cache]
+        if missing:
+            costs = self._costs_with_own(u, self._strategies[u], missing)
+            for t, cost in zip(missing, costs):
+                dest_cache[(u, t)] = cost
+        else:
+            self.stats["dest_cached"] += len(targets)
+        total = 0.0
+        for t, w in zip(targets, weights):
+            total += w * dest_cache[(u, t)]
+        self._node_cost_cache[u] = total
+        return total
+
+    def node_cost(self, profile, node: Node) -> float:
+        """Return the preference-weighted sum of unit-flow costs for ``node``."""
+        self.sync(profile)
+        return self._node_cost_int(self._to_int(node))
+
+    def all_costs(self, profile) -> Dict[Node, float]:
+        """Return the cost of every node under ``profile``."""
+        self.sync(profile)
+        return {
+            label: self._node_cost_int(u)
+            for u, label in enumerate(self.indexed.labels)
+        }
+
+    def social_cost(self, profile) -> float:
+        """Return the total cost over all nodes."""
+        return sum(self.all_costs(profile).values())
+
+    # ------------------------------------------------------------------ #
+    # Best responses
+    # ------------------------------------------------------------------ #
+    def best_response(self, profile, node: Node):
+        """Return the exact LP best response for ``node`` (cached by environment).
+
+        Produces the same :class:`~repro.core.fractional
+        .FractionalBestResponse` record as the reference path.  The LP is
+        skipped when a cached solve against an identical environment already
+        proves the achievable minimum — in particular the equilibrium report
+        right after converged dynamics solves no LPs at all.
+        """
+        from ..core.fractional import FractionalBestResponse
+
+        self.sync(profile)
+        u = self._to_int(node)
+        current_cost = self._node_cost_int(u)
+        if not self.indexed.target_rows[u]:
+            return FractionalBestResponse(
+                node=node,
+                current_cost=current_cost,
+                best_cost=current_cost,
+                best_strategy=profile.strategy(node),
+                improved=False,
+            )
+        stamp = self._env_version[u]
+        cached = self._br_cache.get(u)
+        if cached is not None and cached[0] == stamp:
+            self.stats["lp_skipped"] += 1
+            best_cost, best_strategy = cached[1], dict(cached[2])
+        else:
+            best_cost, best_strategy = self._solve_lp(u)
+            self._br_cache[u] = (stamp, best_cost, dict(best_strategy))
+        if best_cost < current_cost - _IMPROVEMENT_EPS:
+            return FractionalBestResponse(
+                node=node,
+                current_cost=current_cost,
+                best_cost=best_cost,
+                best_strategy=best_strategy,
+                improved=True,
+            )
+        return FractionalBestResponse(
+            node=node,
+            current_cost=current_cost,
+            best_cost=min(best_cost, current_cost),
+            best_strategy=profile.strategy(node),
+            improved=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # LP assembly
+    # ------------------------------------------------------------------ #
+    def _env_structure(self, u: int):
+        """Return the environment's edge pairs and capacities in LP order."""
+        pairs: List[Tuple[int, int]] = []
+        caps: List[float] = []
+        for tail in range(self.indexed.n):
+            if tail == u:
+                continue
+            for head, amount in self._strategies[tail]:
+                if amount > _AMOUNT_EPS:
+                    pairs.append((tail, head))
+                    caps.append(amount)
+        return tuple(pairs), caps
+
+    def _solve_lp(self, u: int) -> Tuple[float, Dict[Node, float]]:
+        structure, caps = self._env_structure(u)
+        lp = self._lp_cache.get(u)
+        if lp is None or lp.structure != structure:
+            lp = self._assemble_lp(u, structure)
+            self._lp_cache[u] = lp
+            self.stats["lp_assembled"] += 1
+        else:
+            self.stats["lp_patched"] += 1
+
+        num_env = lp.num_env
+        num_own = len(lp.candidates)
+        b_ub = lp.b_ub_template.copy()
+        if num_env:
+            caps_arr = np.asarray(caps)
+            per_block = num_env + num_own
+            for d in range(lp.num_targets):
+                start = 1 + d * per_block
+                b_ub[start : start + num_env] = caps_arr
+
+        result = linprog(
+            c=lp.c,
+            A_ub=lp.A_ub,
+            b_ub=b_ub,
+            A_eq=lp.A_eq,
+            b_eq=lp.b_eq,
+            bounds=lp.bounds,
+            method="highs",
+        )
+        if not result.success:  # pragma: no cover - defensive
+            raise BBCError(f"fractional best-response LP failed: {result.message}")
+        self.stats["lp_solved"] += 1
+        labels = self.indexed.labels
+        best_strategy = {
+            labels[x]: float(result.x[j])
+            for j, x in enumerate(lp.candidates)
+            if result.x[j] > _AMOUNT_EPS
+        }
+        return float(result.fun), best_strategy
+
+    def _assemble_lp(self, u: int, structure) -> _NodeLP:
+        """Assemble the node's LP from COO triplets for the given structure.
+
+        Variable layout matches the reference dense assembly exactly:
+        ``num_own`` capacity variables (one per candidate target, in label
+        order), then per preferred destination a block of environment flows,
+        own flows, and one penalty flow.
+        """
+        indexed = self.indexed
+        base = self._base
+        labels = indexed.labels
+        n = indexed.n
+        candidates = [v for v in range(n) if v != u]
+        targets = indexed.target_rows[u]
+        weights = indexed.target_weight_rows[u]
+        length_row = indexed.length_rows[u]
+        penalty = indexed.penalty
+
+        num_own = len(candidates)
+        num_env = len(structure)
+        num_targets = len(targets)
+        per_dest = num_env + num_own + 1
+        num_vars = num_own + num_targets * per_dest
+        env_lengths = [indexed.length_rows[tail][head] for tail, head in structure]
+
+        def flow_var(dest_index: int, edge_index: int) -> int:
+            return num_own + dest_index * per_dest + edge_index
+
+        c = np.zeros(num_vars)
+        for d, _ in enumerate(targets):
+            w = weights[d]
+            for e, length in enumerate(env_lengths):
+                c[flow_var(d, e)] = w * length
+            for o, x in enumerate(candidates):
+                c[flow_var(d, num_env + o)] = w * length_row[x]
+            c[flow_var(d, per_dest - 1)] = w * penalty
+
+        # Inequalities: one budget row, then per destination the environment
+        # capacity rows (rhs patched per profile) and the own-capacity
+        # coupling rows.
+        rows_ub: List[int] = []
+        cols_ub: List[int] = []
+        vals_ub: List[float] = []
+        num_rows_ub = 1 + num_targets * (num_env + num_own)
+        b_ub_template = np.zeros(num_rows_ub)
+        for j, x in enumerate(candidates):
+            price = base.link_cost(labels[u], labels[x])
+            if price:
+                rows_ub.append(0)
+                cols_ub.append(j)
+                vals_ub.append(price)
+        b_ub_template[0] = base.budget(labels[u])
+        for d in range(num_targets):
+            block = 1 + d * (num_env + num_own)
+            for e in range(num_env):
+                rows_ub.append(block + e)
+                cols_ub.append(flow_var(d, e))
+                vals_ub.append(1.0)
+            for o in range(num_own):
+                row = block + num_env + o
+                rows_ub.append(row)
+                cols_ub.append(flow_var(d, num_env + o))
+                vals_ub.append(1.0)
+                rows_ub.append(row)
+                cols_ub.append(o)
+                vals_ub.append(-1.0)
+
+        # Equalities: per destination, flow conservation at every vertex.
+        rows_eq: List[int] = []
+        cols_eq: List[int] = []
+        vals_eq: List[float] = []
+        num_rows_eq = num_targets * n
+        b_eq = np.zeros(num_rows_eq)
+        for d, destination in enumerate(targets):
+            offset = d * n
+            for e, (tail, head) in enumerate(structure):
+                var = flow_var(d, e)
+                rows_eq.append(offset + tail)
+                cols_eq.append(var)
+                vals_eq.append(1.0)
+                rows_eq.append(offset + head)
+                cols_eq.append(var)
+                vals_eq.append(-1.0)
+            for o, x in enumerate(candidates):
+                var = flow_var(d, num_env + o)
+                rows_eq.append(offset + u)
+                cols_eq.append(var)
+                vals_eq.append(1.0)
+                rows_eq.append(offset + x)
+                cols_eq.append(var)
+                vals_eq.append(-1.0)
+            penalty_var = flow_var(d, per_dest - 1)
+            rows_eq.append(offset + u)
+            cols_eq.append(penalty_var)
+            vals_eq.append(1.0)
+            rows_eq.append(offset + destination)
+            cols_eq.append(penalty_var)
+            vals_eq.append(-1.0)
+            b_eq[offset + u] = 1.0
+            b_eq[offset + destination] = -1.0
+
+        A_ub = sparse.coo_matrix(
+            (vals_ub, (rows_ub, cols_ub)), shape=(num_rows_ub, num_vars)
+        ).tocsc()
+        A_eq = sparse.coo_matrix(
+            (vals_eq, (rows_eq, cols_eq)), shape=(num_rows_eq, num_vars)
+        ).tocsc()
+        # More than one unit of capacity is never useful for unit flows.
+        bounds = [(0.0, 1.0)] * num_own + [(0.0, None)] * (num_vars - num_own)
+        return _NodeLP(
+            structure=structure,
+            c=c,
+            A_ub=A_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            b_ub_template=b_ub_template,
+            bounds=bounds,
+            candidates=candidates,
+            num_env=num_env,
+            num_targets=num_targets,
+        )
+
+
+#: One shared engine per live fractional game object; weak keys so games can
+#: be GC'd.
+_FRACTIONAL_ENGINES: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def get_fractional_engine(game) -> FractionalEngine:
+    """Return the shared :class:`FractionalEngine` for ``game`` (created on first use)."""
+    engine = _FRACTIONAL_ENGINES.get(game)
+    if engine is None:
+        engine = FractionalEngine(game)
+        _FRACTIONAL_ENGINES[game] = engine
+    return engine
+
+
+def resolve_fractional_engine(game, engine) -> "FractionalEngine | None":
+    """Resolve the tri-state ``engine`` argument of the fractional entry points.
+
+    Mirrors :func:`repro.engine.resolve_engine`: ``False`` selects the
+    reference FlowNetwork/LP path (returns ``None``), ``None`` the shared
+    per-game engine, and an explicit :class:`FractionalEngine` is validated
+    against ``game`` and returned as-is.
+    """
+    if engine is False:
+        return None
+    if engine is None:
+        return get_fractional_engine(game)
+    engine.check_game(game)
+    return engine
+
+
+__all__ = [
+    "FractionalEngine",
+    "get_fractional_engine",
+    "resolve_fractional_engine",
+]

@@ -43,6 +43,16 @@ class GameSpec:
     payload: tuple
 
     @staticmethod
+    def from_fractional_game(game) -> "GameSpec":
+        """Capture a :class:`~repro.core.FractionalBBCGame` via its base game.
+
+        The fractional relaxation carries no state of its own beyond the base
+        integral game, so the spec is the base's; rebuild with
+        :meth:`build_fractional`.
+        """
+        return GameSpec.from_game(game.base)
+
+    @staticmethod
     def from_game(game: BBCGame) -> "GameSpec":
         """Capture ``game`` as a spec from which :meth:`build` rebuilds it."""
         if isinstance(game, UniformBBCGame):
@@ -105,6 +115,16 @@ class GameSpec:
             disconnection_penalty=penalty,
             objective=Objective(objective),
         )
+
+    def build_fractional(self):
+        """Rebuild the described game wrapped as a :class:`FractionalBBCGame`.
+
+        Fresh caches and a fresh :class:`~repro.engine.FractionalEngine` on
+        first use, exactly like :meth:`build` for the integral engine.
+        """
+        from ..core.fractional import FractionalBBCGame
+
+        return FractionalBBCGame(self.build())
 
 
 def resolve_processes(processes: Optional[int]) -> int:

@@ -105,13 +105,23 @@ class FlowNetwork:
             arc.flow = 0.0
 
     def min_cost_flow(
-        self, source: Node, sink: Node, value: float
+        self, source: Node, sink: Node, value: float, *, overflow_cost: Optional[float] = None
     ) -> Tuple[float, Dict[int, float]]:
         """Route ``value`` units from ``source`` to ``sink`` at minimum cost.
 
         Returns ``(total_cost, {arc_id: flow})`` for forward arcs carrying
         positive flow.  Raises :class:`InfeasibleFlow` if less than ``value``
         can be routed.
+
+        When ``overflow_cost`` is given, any part of ``value`` that cannot be
+        routed more cheaply than ``overflow_cost`` per unit is absorbed at
+        exactly that price instead of raising.  Because successive shortest
+        paths augment in non-decreasing path-cost order, this is equivalent to
+        adding an uncapacitated ``source -> sink`` edge of cost
+        ``overflow_cost`` — the fractional game's disconnection penalty —
+        without mutating the network, so one shared network can serve every
+        ``(source, sink)`` pair.  Absorbed flow is not reported in the
+        returned arc-flow map.
         """
         if value < 0:
             raise ValueError(f"flow value must be non-negative, got {value!r}")
@@ -129,7 +139,19 @@ class FlowNetwork:
         while routed + _EPS < value:
             dist, parent_arc = self._dijkstra(source_idx, potential)
             if dist[sink_idx] == math.inf:
-                raise InfeasibleFlow(source, sink, value, routed)
+                if overflow_cost is None:
+                    raise InfeasibleFlow(source, sink, value, routed)
+                total_cost += (value - routed) * overflow_cost
+                routed = value
+                break
+            if overflow_cost is not None:
+                # True path cost in original costs: potential[source] is pinned
+                # at 0, so dist[sink] + potential[sink] undoes the reduction.
+                path_cost = dist[sink_idx] + potential[sink_idx]
+                if path_cost >= overflow_cost:
+                    total_cost += (value - routed) * overflow_cost
+                    routed = value
+                    break
             # Update potentials for reachable nodes.
             for idx in range(n):
                 if dist[idx] < math.inf:
@@ -159,10 +181,40 @@ class FlowNetwork:
         }
         return total_cost, flows
 
-    def min_cost_unit_flow(self, source: Node, sink: Node) -> float:
+    def min_cost_unit_flow(
+        self, source: Node, sink: Node, *, overflow_cost: Optional[float] = None
+    ) -> float:
         """Return the cost of a minimum-cost unit flow from ``source`` to ``sink``."""
-        cost, _ = self.min_cost_flow(source, sink, 1.0)
+        cost, _ = self.min_cost_flow(source, sink, 1.0, overflow_cost=overflow_cost)
         return cost
+
+    # ------------------------------------------------------------------ #
+    # Scratch-edge rollback
+    # ------------------------------------------------------------------ #
+    def arc_count(self) -> int:
+        """Return the number of arc records (a rollback mark for :meth:`truncate`)."""
+        return len(self._arcs)
+
+    def truncate(self, count: int) -> None:
+        """Remove every arc added after :meth:`arc_count` returned ``count``.
+
+        ``add_edge`` only ever appends — one forward/backward arc pair to
+        ``_arcs`` and one id to the tail's and head's adjacency lists — so a
+        strict LIFO rollback just pops those appends back off.  This lets a
+        cached environment network temporarily host one node's own (variable)
+        edges: mark, add, evaluate flows, truncate.  No nodes may have been
+        added since the mark, and ``count`` must come from :meth:`arc_count`
+        (arc pairs are never split).
+        """
+        if count < 0 or count % 2 != 0 or count > len(self._arcs):
+            raise ValueError(f"invalid truncation mark {count!r}")
+        while len(self._arcs) > count:
+            backward = self._arcs.pop()
+            forward = self._arcs.pop()
+            # The backward arc points at the edge's tail; its id and the
+            # forward id are the most recent appends on those adjacency lists.
+            self._out[backward.head].pop()
+            self._out[forward.head].pop()
 
     # ------------------------------------------------------------------ #
     # Internals

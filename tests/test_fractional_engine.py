@@ -1,0 +1,292 @@
+"""FractionalEngine: parity with the FlowNetwork/LP reference, cache
+invalidation, the PR's dynamics correctness fixes, and process-count
+invariance of the equilibrium report."""
+
+import pytest
+
+from repro.core import (
+    BBCGame,
+    FractionalBBCGame,
+    FractionalProfile,
+    InvalidStrategy,
+    UniformBBCGame,
+    epsilon_equilibrium_report,
+    fractional_best_response,
+    integral_to_fractional,
+    iterated_best_response,
+)
+from repro.core.errors import InvalidProfile
+from repro.engine import FractionalEngine, get_fractional_engine
+
+PARITY = 1e-9
+
+
+def make_general_game():
+    """A non-uniform game: varied weights, lengths, link prices, budgets."""
+    return FractionalBBCGame(
+        BBCGame(
+            nodes=range(5),
+            weights={
+                (0, 1): 2.0,
+                (1, 2): 1.0,
+                (2, 3): 3.0,
+                (3, 0): 1.0,
+                (0, 3): 1.0,
+                (4, 0): 1.5,
+                (2, 4): 0.5,
+            },
+            link_lengths={(0, 1): 2.0, (1, 2): 0.5, (3, 4): 3.0},
+            link_costs={(0, 1): 2.0, (2, 3): 0.5},
+            default_weight=0.0,
+            default_budget=1.5,
+        )
+    )
+
+
+def interesting_profiles(game):
+    """Profiles worth pinning: empty, even split, and an integral-style lift."""
+    nodes = list(game.nodes)
+    ring = FractionalProfile(
+        {node: {nodes[(i + 1) % len(nodes)]: 1.0} for i, node in enumerate(nodes)}
+    )
+    return [game.empty_profile(), game.even_split_profile(), ring]
+
+
+@pytest.mark.parametrize("make_game", [lambda: FractionalBBCGame(UniformBBCGame(5, 2)), make_general_game])
+def test_cost_parity_engine_vs_reference(make_game):
+    game = make_game()
+    for profile in interesting_profiles(game):
+        engine_costs = game.all_costs(profile)
+        reference_costs = game.all_costs(profile, engine=False)
+        assert set(engine_costs) == set(reference_costs)
+        for node in game.nodes:
+            assert engine_costs[node] == pytest.approx(reference_costs[node], abs=PARITY)
+            assert game.node_cost(profile, node) == pytest.approx(
+                game.node_cost(profile, node, engine=False), abs=PARITY
+            )
+        assert game.social_cost(profile) == pytest.approx(
+            game.social_cost(profile, engine=False), abs=PARITY
+        )
+        for source in game.nodes:
+            for destination in game.nodes:
+                if source == destination:
+                    continue
+                assert game.destination_cost(profile, source, destination) == pytest.approx(
+                    game.destination_cost(profile, source, destination, engine=False),
+                    abs=PARITY,
+                )
+
+
+@pytest.mark.parametrize("make_game", [lambda: FractionalBBCGame(UniformBBCGame(5, 2)), make_general_game])
+def test_best_response_parity_engine_vs_reference(make_game):
+    game = make_game()
+    for profile in interesting_profiles(game):
+        for node in game.nodes:
+            engine_response = fractional_best_response(game, profile, node)
+            reference_response = fractional_best_response(game, profile, node, engine=False)
+            assert engine_response.current_cost == pytest.approx(
+                reference_response.current_cost, abs=PARITY
+            )
+            assert engine_response.best_cost == pytest.approx(
+                reference_response.best_cost, abs=PARITY
+            )
+            assert engine_response.regret == pytest.approx(
+                reference_response.regret, abs=PARITY
+            )
+            assert engine_response.improved == reference_response.improved
+
+
+def test_best_strategy_is_feasible_and_achieves_best_cost():
+    game = make_general_game()
+    profile = game.empty_profile()
+    for node in game.nodes:
+        response = fractional_best_response(game, profile, node)
+        assert game.is_feasible_strategy(node, response.best_strategy)
+        achieved = game.node_cost(
+            profile.with_strategy(node, response.best_strategy), node, engine=False
+        )
+        # The LP models the exact min-cost flows, so its optimum is realised
+        # (up to solver tolerance) by re-evaluating the returned strategy.
+        assert achieved == pytest.approx(response.best_cost, abs=1e-6)
+
+
+def test_dynamics_parity_engine_vs_reference():
+    game_engine = make_general_game()
+    game_reference = make_general_game()
+    result_engine = iterated_best_response(game_engine, max_rounds=20, tolerance=1e-4)
+    result_reference = iterated_best_response(
+        game_reference, max_rounds=20, tolerance=1e-4, engine=False
+    )
+    assert result_engine.rounds == result_reference.rounds
+    assert result_engine.converged == result_reference.converged
+    assert result_engine.max_final_regret == pytest.approx(
+        result_reference.max_final_regret, abs=PARITY
+    )
+    assert len(result_engine.cost_history) == len(result_reference.cost_history)
+    for engine_cost, reference_cost in zip(
+        result_engine.cost_history, result_reference.cost_history
+    ):
+        assert engine_cost == pytest.approx(reference_cost, abs=PARITY)
+
+
+def test_sync_classification_and_cache_invalidation_across_with_strategy():
+    game = FractionalBBCGame(UniformBBCGame(4, 1))
+    engine = get_fractional_engine(game)
+    profile = game.even_split_profile()
+
+    assert engine.sync(profile) is None  # first sync: nothing to diff against
+    version = engine.version
+    assert engine.sync(profile) == ()  # no-op: version (and caches) survive
+    assert engine.version == version
+
+    moved = profile.with_strategy(0, {1: 1.0})
+    assert engine.sync(moved) == (0,)
+    assert engine.version == version + 1
+
+    rewritten = moved.with_strategy(1, {2: 0.5}).with_strategy(2, {3: 0.5})
+    assert set(engine.sync(rewritten)) == {1, 2}
+
+    # Post-invalidation costs match a cold engine exactly.
+    cold = FractionalEngine(game)
+    assert engine.all_costs(rewritten) == cold.all_costs(rewritten)
+
+
+def test_single_mover_keeps_its_cached_best_response():
+    game = FractionalBBCGame(UniformBBCGame(4, 1))
+    engine = get_fractional_engine(game)
+    profile = game.even_split_profile()
+
+    first = fractional_best_response(game, profile, 0, engine=engine)
+    solved = engine.stats["lp_solved"]
+
+    # Node 0 moves: its own environment is untouched, so probing it again on
+    # the new profile reuses the cached LP solve (and proves zero regret
+    # without re-solving when it just moved to its best response).
+    moved = profile.with_strategy(0, {1: 0.6, 2: 0.4})
+    second = fractional_best_response(game, moved, 0, engine=engine)
+    assert engine.stats["lp_solved"] == solved
+    assert engine.stats["lp_skipped"] >= 1
+    assert second.best_cost == pytest.approx(first.best_cost, abs=PARITY)
+
+    # Any *other* node's environment did change, so its LP re-solves.
+    fractional_best_response(game, moved, 1, engine=engine)
+    assert engine.stats["lp_solved"] == solved + 1
+
+
+def test_equilibrium_report_after_dynamics_skips_all_lps():
+    game = FractionalBBCGame(UniformBBCGame(4, 1))
+    engine = get_fractional_engine(game)
+    result = iterated_best_response(game, max_rounds=12, tolerance=1e-4, engine=engine)
+    solved = engine.stats["lp_solved"]
+    report = epsilon_equilibrium_report(game, result.profile, 1e-4, engine=engine)
+    # The final no-move round already solved (or reused) every node's LP at
+    # this exact environment; certifying the same profile is LP-free.
+    assert engine.stats["lp_solved"] == solved
+    assert report.max_regret == pytest.approx(result.max_final_regret, abs=PARITY)
+
+
+def test_engine_rejects_foreign_game_and_unsynced_queries():
+    game = FractionalBBCGame(UniformBBCGame(4, 1))
+    other = FractionalBBCGame(UniformBBCGame(4, 1))
+    engine = FractionalEngine(game)
+    with pytest.raises(ValueError):
+        fractional_best_response(other, other.empty_profile(), 0, engine=engine)
+    with pytest.raises(InvalidProfile):
+        engine.sync(FractionalProfile({0: {}, 1: {}}))  # missing nodes
+
+
+# --------------------------------------------------------------------- #
+# Regression tests for the dynamics correctness fixes
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", [None, False])
+def test_no_move_round_does_not_fake_convergence(engine):
+    """A no-move round must not claim convergence below the move threshold.
+
+    Moves are gated by the fixed ``1e-6`` improvement threshold inside
+    ``fractional_best_response``; node 0's strategy here is ~5.7e-7 worse
+    than optimal, so dynamics make no move — yet with ``tolerance=1e-8`` the
+    profile is *not* an epsilon-equilibrium and ``converged`` must say so.
+    """
+    game = FractionalBBCGame(UniformBBCGame(3, 1))
+    delta = 1e-8
+    initial = FractionalProfile({0: {1: 1.0 - delta}, 1: {2: 1.0}, 2: {0: 1.0}})
+    probe = fractional_best_response(game, initial, 0, engine=engine)
+    assert not probe.improved  # below the move threshold ...
+    assert probe.regret > 1e-8  # ... but above the caller's tolerance
+    result = iterated_best_response(
+        game, initial, max_rounds=5, tolerance=1e-8, engine=engine
+    )
+    assert result.rounds == 1  # the early no-move exit path
+    assert result.max_final_regret > 1e-8
+    assert not result.converged
+
+
+def test_converged_still_true_when_report_certifies_it():
+    game = FractionalBBCGame(UniformBBCGame(4, 1))
+    result = iterated_best_response(game, max_rounds=12, tolerance=1e-4)
+    assert result.converged == (result.max_final_regret <= 1e-4)
+
+
+def test_integral_to_fractional_rejects_unknown_endpoints():
+    with pytest.raises(InvalidStrategy):
+        integral_to_fractional([("ghost", 1)], nodes=[0, 1, 2])
+    with pytest.raises(InvalidStrategy):
+        integral_to_fractional([(0, "ghost")], nodes=[0, 1, 2])
+    lifted = integral_to_fractional([(0, 1), (1, 2)], nodes=[0, 1, 2])
+    assert lifted.capacity(0, 1) == 1.0
+    assert lifted.capacity(1, 2) == 1.0
+
+
+def test_even_split_buys_full_unit_on_zero_price_links():
+    game = FractionalBBCGame(
+        BBCGame(
+            nodes=range(3),
+            weights={(0, 1): 1.0, (0, 2): 1.0, (1, 0): 1.0, (2, 0): 1.0},
+            link_costs={(0, 1): 0.0},
+            default_weight=0.0,
+            default_budget=1.0,
+        )
+    )
+    profile = game.even_split_profile()
+    # The free link deliberately carries the full unit of useful capacity,
+    # not the meaningless "budget share / 0" split ...
+    assert profile.capacity(0, 1) == 1.0
+    # ... while priced links still split the budget evenly, and the whole
+    # profile stays feasible.
+    assert profile.capacity(0, 2) == pytest.approx(0.5)
+    game.validate_profile(profile)
+
+
+def test_destination_cost_penalty_edge_absorbs_the_whole_unit():
+    """The penalty edge (capacity 1.0) must absorb an entirely unroutable unit."""
+    game = FractionalBBCGame(UniformBBCGame(4, 1))
+    empty = game.empty_profile()
+    for engine in (None, False):
+        assert game.destination_cost(empty, 0, 1, engine=engine) == pytest.approx(
+            game.base.disconnection_penalty
+        )
+    # And a partially routable unit blends path cost and penalty.
+    half = FractionalProfile({0: {1: 0.5}, 1: {}, 2: {}, 3: {}})
+    for engine in (None, False):
+        assert game.destination_cost(half, 0, 1, engine=engine) == pytest.approx(
+            0.5 * 1.0 + 0.5 * game.base.disconnection_penalty
+        )
+
+
+# --------------------------------------------------------------------- #
+# Process fan-out
+# --------------------------------------------------------------------- #
+def test_epsilon_equilibrium_report_is_process_count_invariant():
+    game = make_general_game()
+    profile = game.even_split_profile()
+    serial = epsilon_equilibrium_report(game, profile, 1e-4, processes=1)
+    forked = epsilon_equilibrium_report(game, profile, 1e-4, processes=2)
+    assert serial.regrets == forked.regrets
+    assert serial.max_regret == forked.max_regret
+    reference = epsilon_equilibrium_report(
+        game, profile, 1e-4, engine=False, processes=2
+    )
+    for node in game.nodes:
+        assert reference.regrets[node] == pytest.approx(
+            serial.regrets[node], abs=PARITY
+        )
