@@ -21,12 +21,21 @@ resulting profile, both against the shared-structure
 sparse patched LPs) and the from-scratch FlowNetwork / dense-LP reference —
 and merges them under ``fractional_results`` the same way.
 
+``--incremental`` runs the incremental-engine scenarios — long best-response
+walks, single-deviation equilibrium rechecks, and the restricted exhaustive
+sweep — against a reconstruction of the PR 3 engine
+(``CostEngine(game, incremental=False, vectorized=False)``: drop-on-sync
+invalidation, per-element scoring loops).  The recheck row additionally
+isolates the repair win by timing ``incremental=False`` with vectorisation
+kept on.  Results merge under ``incremental_results``.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_speed.py                      # core scenarios
     PYTHONPATH=src python scripts/bench_speed.py --sweep              # sweep scenarios
     PYTHONPATH=src python scripts/bench_speed.py --fractional         # fractional scenarios
-    PYTHONPATH=src python scripts/bench_speed.py --smoke [--sweep | --fractional]
+    PYTHONPATH=src python scripts/bench_speed.py --incremental        # incremental-engine scenarios
+    PYTHONPATH=src python scripts/bench_speed.py --smoke [--sweep | --fractional | --incremental]
 
 The reference path is skipped above ``--max-reference-n`` (default 32: at
 n = 64 the dict-based oracle takes minutes for no extra information — the
@@ -74,6 +83,9 @@ SWEEP_SPEEDUP_FLOOR = 5.0
 #: The fractional dynamics scenario must stay at least this much faster than
 #: the FlowNetwork / dense-LP reference at the largest size benchmarked.
 FRACTIONAL_SPEEDUP_FLOOR = 3.0
+#: The long-walk incremental scenario at the largest size must stay at least
+#: this much faster than the reconstructed PR 3 engine.
+INCREMENTAL_WALK_FLOOR = 2.0
 FRACTIONAL_MAX_ROUNDS = 12
 FRACTIONAL_TOLERANCE = 1e-5
 
@@ -301,6 +313,121 @@ def bench_fractional_report(n, repeats, game, profile):
     }
 
 
+def _pr3_engine(game):
+    """Reconstruct the PR 3 engine: drop-on-sync rows, per-element scoring."""
+    return CostEngine(game, incremental=False, vectorized=False)
+
+
+def bench_incremental_walk(n, rounds, repeats):
+    """Long deviating walk: default engine vs the reconstructed PR 3 engine."""
+    game = UniformBBCGame(n, K)
+    initial = random_initial_profile(game, seed=PROFILE_SEED)
+
+    def run(engine):
+        return run_best_response_walk(game, initial, max_rounds=rounds, engine=engine)
+
+    new_time, new_result = time_call(lambda: run(CostEngine(game)), repeats)
+    pr3_time, pr3_result = time_call(lambda: run(_pr3_engine(game)), repeats)
+    assert pr3_result.final_profile == new_result.final_profile
+    assert pr3_result.probes == new_result.probes
+    assert pr3_result.deviations == new_result.deviations
+    return {
+        "task": "incremental_walk",
+        "n": n,
+        "k": K,
+        "max_rounds": rounds,
+        "probes": new_result.probes,
+        "deviations": new_result.deviations,
+        "engine_seconds": new_time,
+        "reference_seconds": pr3_time,
+        "speedup": pr3_time / new_time,
+    }
+
+
+def bench_incremental_recheck(n, steps, repeats):
+    """Equilibrium rechecks after single deviations: the repair hot path.
+
+    A warmed engine re-certifies the profile after each of ``steps``
+    single-node perturbations.  The default engine repairs its cached rows
+    and patches the batched cost vectors in place; ``incremental=False``
+    (drop) recomputes every invalidated row, and the PR 3 reconstruction
+    additionally loses the vectorised scoring.
+    """
+    import random as random_module
+
+    game = UniformBBCGame(n, K)
+    rng = random_module.Random(PROFILE_SEED)
+    nodes = list(game.nodes)
+    sequence = [random_initial_profile(game, seed=PROFILE_SEED)]
+    for _ in range(steps):
+        node = rng.choice(nodes)
+        others = [v for v in nodes if v != node]
+        sequence.append(
+            sequence[-1].with_strategy(node, frozenset(rng.sample(others, K)))
+        )
+
+    def timed(make_engine):
+        best = None
+        regrets = None
+        for _ in range(repeats):
+            engine = make_engine()
+            equilibrium_report(game, sequence[0], engine=engine)  # warm
+            start = time.perf_counter()
+            regrets = [
+                equilibrium_report(game, p, engine=engine).max_regret
+                for p in sequence[1:]
+            ]
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, regrets
+
+    repair_time, repair_regrets = timed(lambda: CostEngine(game))
+    drop_time, drop_regrets = timed(lambda: CostEngine(game, incremental=False))
+    pr3_time, pr3_regrets = timed(lambda: _pr3_engine(game))
+    assert repair_regrets == drop_regrets == pr3_regrets
+    return {
+        "task": "incremental_recheck",
+        "n": n,
+        "k": K,
+        "perturbations": steps,
+        "engine_seconds": repair_time,
+        "drop_seconds": drop_time,
+        "reference_seconds": pr3_time,
+        "speedup": pr3_time / repair_time,
+        "repair_vs_drop": drop_time / repair_time,
+    }
+
+
+def bench_incremental_sweep(repeats, smoke):
+    """Restricted exhaustive sweep: default engine vs the PR 3 reconstruction."""
+    game = UniformBBCGame(7, K)
+    sets = candidate_strategy_sets(game, None, None)
+    free = 2 if smoke else 3
+    candidates = {node: sets[node][:1] for node in range(free, 7)}
+    kwargs = dict(candidate_strategies=candidates, stop_at_first=False)
+
+    new_time, new_summary = time_call(
+        lambda: exhaustive_equilibrium_search(game, engine=CostEngine(game), **kwargs),
+        repeats,
+    )
+    pr3_time, pr3_summary = time_call(
+        lambda: exhaustive_equilibrium_search(game, engine=_pr3_engine(game), **kwargs),
+        repeats,
+    )
+    assert pr3_summary == new_summary
+    return {
+        "task": "incremental_sweep",
+        "n": 7,
+        "k": K,
+        "free_nodes": free,
+        "profiles": new_summary.profiles_examined,
+        "engine_seconds": new_time,
+        "reference_seconds": pr3_time,
+        "speedup": pr3_time / new_time,
+    }
+
+
 def render_table(rows):
     lines = [
         f"{'task':<24} {'n':>4} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
@@ -341,6 +468,22 @@ def run_sweep_scenarios(args, repeats):
     return rows
 
 
+def run_incremental_scenarios(args, repeats):
+    sizes = [16] if args.smoke else [32, 64]
+    rounds = 6 if args.smoke else 30
+    rows = []
+    for n in sizes:
+        print(f"benchmarking incremental walk n={n} (engine vs PR 3 reconstruction) ...")
+        rows.append(bench_incremental_walk(n, rounds, repeats))
+    n = 16 if args.smoke else 64
+    steps = 4 if args.smoke else 12
+    print(f"benchmarking single-deviation equilibrium rechecks n={n} ...")
+    rows.append(bench_incremental_recheck(n, steps, repeats))
+    print("benchmarking incremental sweep (exhaustive search) ...")
+    rows.append(bench_incremental_sweep(repeats, args.smoke))
+    return sizes, rows
+
+
 def run_fractional_scenarios(args, repeats):
     sizes = [5, 6] if args.smoke else [8, 10, 12, 14]
     rows = []
@@ -373,6 +516,13 @@ def main():
         "dynamics and epsilon-equilibrium reports, FractionalEngine vs the "
         "FlowNetwork / dense-LP reference) instead of the core scenarios",
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="run the incremental-engine scenarios (long walks, "
+        "single-deviation equilibrium rechecks, restricted exhaustive sweep) "
+        "against a reconstruction of the PR 3 engine",
+    )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
     parser.add_argument(
         "--max-reference-n",
@@ -382,7 +532,14 @@ def main():
     )
     args = parser.parse_args()
 
-    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    if args.repeats is not None:
+        repeats = args.repeats
+    elif args.smoke or args.incremental:
+        # The incremental walks time a deliberately slow PR 3 baseline; one
+        # repeat keeps the whole mode under a couple of minutes.
+        repeats = 1
+    else:
+        repeats = 3
     if repeats < 1:
         parser.error(f"--repeats must be at least 1 (got {repeats})")
 
@@ -406,13 +563,18 @@ def main():
         "python": platform.python_version(),
     }
 
-    if args.sweep and args.fractional:
-        parser.error("--sweep and --fractional are mutually exclusive")
+    if sum(map(bool, (args.sweep, args.fractional, args.incremental))) > 1:
+        parser.error("--sweep, --fractional, and --incremental are mutually exclusive")
 
     if args.sweep:
         rows = run_sweep_scenarios(args, repeats)
         payload["sweep_results"] = rows
         payload["sweep_meta"] = meta
+    elif args.incremental:
+        sizes, rows = run_incremental_scenarios(args, repeats)
+        payload["incremental_sizes"] = sizes
+        payload["incremental_results"] = rows
+        payload["incremental_meta"] = meta
     elif args.fractional:
         sizes, rows = run_fractional_scenarios(args, repeats)
         payload["fractional_sizes"] = sizes
@@ -431,6 +593,8 @@ def main():
     table = render_table(rows)
     if args.sweep:
         table_name = "BENCH_speed_sweep.txt"
+    elif args.incremental:
+        table_name = "BENCH_speed_incremental.txt"
     elif args.fractional:
         table_name = "BENCH_speed_fractional.txt"
     else:
@@ -440,6 +604,20 @@ def main():
     print("\n" + table)
     print(f"\nwrote {json_path}")
 
+    if args.incremental:
+        if args.smoke:
+            # Smoke sizes are too tiny for a stable floor, as in the other modes.
+            return 0
+        walk_rows = [row for row in rows if row["task"] == "incremental_walk"]
+        largest = max(walk_rows, key=lambda row: row["n"])
+        if largest["speedup"] < INCREMENTAL_WALK_FLOOR:
+            print(
+                f"WARNING: incremental_walk speedup at n={largest['n']} fell "
+                f"below {INCREMENTAL_WALK_FLOOR:g}x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.fractional:
         if args.smoke:
             # Smoke sizes are too tiny for a stable floor, as in the other modes.

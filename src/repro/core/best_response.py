@@ -34,6 +34,7 @@ sharing.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
@@ -189,6 +190,32 @@ def _normalized_candidates(
     return tuple(dict.fromkeys(candidates))
 
 
+def _resolve_scorer(
+    game: BBCGame,
+    profile: StrategyProfile,
+    node: Node,
+    candidates: Optional[Sequence[Node]],
+    engine,
+):
+    """Return ``(score_callable, engine_scorer_or_None)`` for ``node``.
+
+    ``engine=None`` uses the shared per-game :class:`~repro.engine.CostEngine`,
+    ``engine=False`` forces the reference :class:`DeviationOracle` (second
+    element ``None``), and an explicit engine instance is used as-is (synced
+    to ``profile``).
+    """
+    from ..engine import resolve_engine
+
+    engine = resolve_engine(game, engine)
+    if engine is None:
+        return DeviationOracle(game, profile, node, candidates).cost_of, None
+    engine.sync(profile)
+    scorer = engine.scorer(node)
+    # With dense int labels `score` would just forward to `score_ints`; bind
+    # the inner method directly and skip a call layer per candidate strategy.
+    return (scorer.score_ints if scorer.identity_labels else scorer.score), scorer
+
+
 def _make_scorer(
     game: BBCGame,
     profile: StrategyProfile,
@@ -196,22 +223,62 @@ def _make_scorer(
     candidates: Optional[Sequence[Node]],
     engine,
 ):
-    """Return a ``score(strategy_labels) -> float`` callable for ``node``.
+    """Return a ``score(strategy_labels) -> float`` callable for ``node``."""
+    return _resolve_scorer(game, profile, node, candidates, engine)[0]
 
-    ``engine=None`` uses the shared per-game :class:`~repro.engine.CostEngine`,
-    ``engine=False`` forces the reference :class:`DeviationOracle`, and an
-    explicit engine instance is used as-is (synced to ``profile``).
+
+def chained_best_from_vector(costs, best_cost: float):
+    """Replay the chained ``cost < best - 1e-9`` update rule over a cost vector.
+
+    ``costs`` is a numpy vector in enumeration order; returns ``(best_cost,
+    index_of_last_update)`` (index ``-1`` when nothing improved).  The
+    comparisons are exactly the reference loop's, just driven by vectorised
+    scans between updates.  Shared with the sweep layer so the bit-identity
+    contract has a single implementation.
     """
-    from ..engine import resolve_engine
+    best_index = -1
+    threshold = best_cost - 1e-9
+    position = 0
+    total = len(costs)
+    while position < total:
+        mask = costs[position:] < threshold
+        step = int(mask.argmax())
+        if not mask[step]:
+            break
+        position += step
+        best_cost = float(costs[position])
+        best_index = position
+        threshold = best_cost - 1e-9
+        position += 1
+    return best_cost, best_index
 
-    engine = resolve_engine(game, engine)
-    if engine is None:
-        return DeviationOracle(game, profile, node, candidates).cost_of
-    engine.sync(profile)
-    scorer = engine.scorer(node)
-    # With dense int labels `score` would just forward to `score_ints`; bind
-    # the inner method directly and skip a call layer per candidate strategy.
-    return scorer.score_ints if scorer.identity_labels else scorer.score
+
+def batched_combination_costs(game, scorer, node, candidates, limit):
+    """Batch-score the whole enumeration when possible.
+
+    Returns ``(plan_candidates, size, costs)`` — the candidate order, the
+    single combination size, and a numpy cost vector in
+    ``itertools.combinations`` order — or ``None`` when the enumeration
+    cannot be batch-scored.  Batch scoring needs an exact-sum fast-path
+    scorer and an enumeration that :meth:`BBCGame.combination_plan` describes
+    as a single combination size of 1 or 2 (the hot shapes); anything else
+    falls back to the per-strategy loop.  Shared with the sweep layer.
+    """
+    if scorer is None or not scorer.fast_batch:
+        return None
+    plan = game.combination_plan(node, candidates, maximal_only=True, limit=limit)
+    if plan is None:
+        return None
+    plan_candidates, sizes = plan
+    if len(sizes) != 1 or sizes[0] not in (1, 2):
+        return None
+    size = sizes[0]
+    ints = (
+        plan_candidates
+        if scorer.identity_labels
+        else [scorer.index[target] for target in plan_candidates]
+    )
+    return plan_candidates, size, scorer.score_combinations(ints, size)
 
 
 def best_response(
@@ -233,19 +300,37 @@ def best_response(
     ``improved=False``) and otherwise by enumeration order, which is
     deterministic.
     """
-    score = _make_scorer(game, profile, node, candidates, engine)
+    score, scorer = _resolve_scorer(game, profile, node, candidates, engine)
     current_strategy = profile.strategy(node)
     current_cost = score(current_strategy)
 
     best_strategy = current_strategy
     best_cost = current_cost if prefer_current else math.inf
     evaluated = 0
-    for strategy in game.feasible_strategies(node, candidates, maximal_only=True, limit=limit):
-        evaluated += 1
-        cost = score(strategy)
-        if cost < best_cost - 1e-9:
-            best_cost = cost
-            best_strategy = strategy
+    batch = batched_combination_costs(game, scorer, node, candidates, limit)
+    if batch is not None:
+        plan_candidates, size, costs = batch
+        evaluated = len(costs)
+        best_cost, best_index = chained_best_from_vector(costs, best_cost)
+        if best_index >= 0:
+            best_strategy = frozenset(
+                next(
+                    itertools.islice(
+                        itertools.combinations(plan_candidates, size),
+                        best_index,
+                        None,
+                    )
+                )
+            )
+    else:
+        for strategy in game.feasible_strategies(
+            node, candidates, maximal_only=True, limit=limit
+        ):
+            evaluated += 1
+            cost = score(strategy)
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best_strategy = strategy
     if not prefer_current and best_cost == math.inf:  # no feasible strategy enumerated
         best_strategy = current_strategy
         best_cost = current_cost

@@ -277,6 +277,72 @@ class BBCGame:
                 break
         return bought
 
+    def _normalize_candidates(
+        self, node: Node, candidates: Optional[Sequence[Node]]
+    ) -> List[Node]:
+        """Return candidate targets in enumeration order (dedup, ``node`` removed)."""
+        if candidates is None:
+            candidates = [v for v in self._nodes if v != node]
+        else:
+            candidates = [v for v in candidates if v != node]
+            unknown = set(candidates) - self._node_set
+            if unknown:
+                raise InvalidStrategy(
+                    f"candidate target {next(iter(unknown))!r} is not a node of the game"
+                )
+        return list(dict.fromkeys(candidates))  # preserve order, drop duplicates
+
+    def combination_plan(
+        self,
+        node: Node,
+        candidates: Optional[Sequence[Node]] = None,
+        *,
+        maximal_only: bool = True,
+        limit: float = DEFAULT_ENUMERATION_LIMIT,
+    ) -> Optional[Tuple[List[Node], List[int]]]:
+        """Describe :meth:`feasible_strategies` as plain combinations, if possible.
+
+        When every candidate link has the same cost, the feasible strategies
+        of ``node`` are exactly ``itertools.combinations(candidates, size)``
+        for the returned sizes, in that order.  Returns ``(candidates,
+        sizes)`` in that case and ``None`` otherwise (non-uniform link costs).
+        :meth:`feasible_strategies` itself enumerates from this plan, and the
+        engine's batched scorer uses it to score whole strategy sets without
+        materialising them one by one — sharing the plan is what keeps the
+        two enumeration orders identical by construction.
+
+        Raises :class:`SearchSpaceTooLarge` exactly like
+        :meth:`feasible_strategies` when the estimated count exceeds
+        ``limit``.
+        """
+        candidates = self._normalize_candidates(node, candidates)
+        costs = {v: self.link_cost(node, v) for v in candidates}
+        return self._combination_plan_from(node, candidates, costs, maximal_only, limit)
+
+    def _combination_plan_from(
+        self,
+        node: Node,
+        candidates: List[Node],
+        costs: Dict[Node, float],
+        maximal_only: bool,
+        limit: float,
+    ) -> Optional[Tuple[List[Node], List[int]]]:
+        if len(set(costs.values())) > 1:
+            return None
+        budget = self.budget(node)
+        per_link = next(iter(costs.values())) if costs else 0.0
+        if per_link <= 0:
+            max_links = len(candidates)
+        else:
+            max_links = min(len(candidates), int(math.floor(budget / per_link + 1e-9)))
+        sizes = [max_links] if maximal_only else list(range(max_links + 1))
+        estimated = sum(math.comb(len(candidates), size) for size in sizes)
+        if estimated > limit:
+            raise SearchSpaceTooLarge(
+                f"feasible strategies of node {node!r}", estimated, limit
+            )
+        return candidates, sizes
+
     def feasible_strategies(
         self,
         node: Node,
@@ -302,38 +368,18 @@ class BBCGame:
             Guard against combinatorial explosion; an estimate above this
             raises :class:`SearchSpaceTooLarge`.
         """
-        if candidates is None:
-            candidates = [v for v in self._nodes if v != node]
-        else:
-            candidates = [v for v in candidates if v != node]
-            unknown = set(candidates) - self._node_set
-            if unknown:
-                raise InvalidStrategy(
-                    f"candidate target {next(iter(unknown))!r} is not a node of the game"
-                )
-        candidates = list(dict.fromkeys(candidates))  # preserve order, drop duplicates
-        budget = self.budget(node)
+        candidates = self._normalize_candidates(node, candidates)
         costs = {v: self.link_cost(node, v) for v in candidates}
-
-        uniform_cost = len(set(costs.values())) <= 1
-        if uniform_cost:
-            per_link = next(iter(costs.values())) if costs else 0.0
-            if per_link <= 0:
-                max_links = len(candidates)
-            else:
-                max_links = min(len(candidates), int(math.floor(budget / per_link + 1e-9)))
-            sizes = [max_links] if maximal_only else list(range(max_links + 1))
-            estimated = sum(math.comb(len(candidates), size) for size in sizes)
-            if estimated > limit:
-                raise SearchSpaceTooLarge(
-                    f"feasible strategies of node {node!r}", estimated, limit
-                )
+        plan = self._combination_plan_from(node, candidates, costs, maximal_only, limit)
+        if plan is not None:
+            plan_candidates, sizes = plan
             for size in sizes:
-                for combo in itertools.combinations(candidates, size):
+                for combo in itertools.combinations(plan_candidates, size):
                     yield frozenset(combo)
             return
 
         # Non-uniform link costs: recursive subset enumeration with budget pruning.
+        budget = self.budget(node)
         ordered: List[Node] = list(candidates)
         yielded = 0
 

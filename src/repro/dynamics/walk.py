@@ -105,6 +105,12 @@ def run_best_response_walk(
     round_order:
         Explicit node order for every round (overrides the scheduler's
         ordering; used by the Figure 4 and ring+path experiments).
+    stop_at_equilibrium:
+        Whether a full no-deviation round ends the walk early (the default).
+        ``reached_equilibrium`` in the result is truthful either way: with
+        ``stop_at_equilibrium=False`` the walk keeps probing the (now fixed)
+        profile until ``max_rounds`` but still reports that an equilibrium
+        was reached.
     stop_at_strong_connectivity:
         Stop as soon as the formed graph is strongly connected (the
         Theorem 6 experiments measure exactly this probe count).
@@ -150,8 +156,12 @@ def run_best_response_walk(
             )
 
     rounds_done = 0
+    stop_now = False
     for round_index in range(max_rounds):
-        if detect_cycles:
+        # Once a full round passed with no deviation the profile is a pure
+        # equilibrium and can never move again, so a repeated fingerprint is
+        # the fixed point, not a loop — skip the cycle bookkeeping for it.
+        if detect_cycles and not reached_equilibrium:
             key = profile.fingerprint()
             if key in seen_rounds:
                 cycle_detected = True
@@ -191,15 +201,33 @@ def run_best_response_walk(
         if stop_now:
             break
         if not any_deviation:
+            # The flag records the fact; the *stopping* decision is separate,
+            # so stop_at_equilibrium=False keeps probing until max_rounds.
             reached_equilibrium = True
-            break
+            if stop_at_equilibrium:
+                break
+
+    if (
+        detect_cycles
+        and not cycle_detected
+        and not reached_equilibrium
+        and not stop_now
+    ):
+        # The loop checks fingerprints at round *starts*, so a configuration
+        # that first repeats exactly when the round budget runs out would
+        # otherwise go unreported; close the window with one last check.
+        key = profile.fingerprint()
+        if key in seen_rounds:
+            cycle_detected = True
+            cycle_start = seen_rounds[key]
+            cycle_length = rounds_done - seen_rounds[key]
 
     return WalkResult(
         final_profile=profile,
         probes=probes,
         deviations=deviations,
         rounds=rounds_done,
-        reached_equilibrium=reached_equilibrium and stop_at_equilibrium,
+        reached_equilibrium=reached_equilibrium,
         strong_connectivity_probe=strong_probe,
         cycle_detected=cycle_detected,
         cycle_start_round=cycle_start,

@@ -22,12 +22,35 @@ incoming profile against the engine's snapshot and:
   (environment-distance rows ``d_{G-u}(a, ·)``, the all-costs table) remains
   valid, so an equilibrium check immediately after a walk, or repeated stable
   probes within a walk, re-use every SSSP already paid for;
-* *exactly one node ``u`` changed* — the version is bumped and all cached
-  rows are dropped **except** ``u``'s own environment rows, which are
-  re-stamped to the new version: ``G - u`` never contained ``u``'s links, so
-  a local change by ``u`` cannot invalidate ``u``'s own deviation geometry;
-* *more than one node changed* — the version is bumped and all caches are
-  dropped.
+* *exactly one node ``u`` changed* — the version is bumped, ``u``'s own
+  environment rows are re-stamped (``G - u`` never contained ``u``'s links,
+  so a local change by ``u`` cannot invalidate ``u``'s own deviation
+  geometry), and the step — ``u`` plus its arcs before the step — is
+  appended to a bounded **edit log** instead of dropping the other nodes'
+  rows;
+* *more than one node changed* — the version is bumped, all caches are
+  dropped, and the edit log is cleared.
+
+**The repair contract** (new in PR 4).  A cached row whose stamp is behind
+the engine's version is not discarded on touch: the engine collapses the
+edit log since the row's stamp into net per-mover arc diffs (a node that
+moved away and back contributes nothing; the masked node's own steps never
+matter) and *repairs* the row in place with the dynamic-SSSP kernels
+:func:`repro.graphs.int_kernels.repair_hops_csr` /
+:func:`repro.graphs.int_kernels.repair_dijkstra_csr` — bounded
+re-relaxation of only the region the arc changes can reach, seeded from the
+region's intact in-boundary (the engine maintains the reverse adjacency for
+this).  Hop rows repair in exact int space before rescaling, so repaired
+rows are **bit-identical** to recomputation; derived rows (through rows,
+penalty-substituted slices, batched combination cost vectors) are patched at
+the touched indices only.  When repair would not pay — more pending net
+movers than ``_repair_edit_limit`` (the affected region would approach the
+whole row), a row older than the ``REPAIR_LOG_LIMIT``-entry log, tiny games
+where a fresh BFS is cheaper, or ``incremental=False`` (the PR 3 baseline
+behaviour) — the engine falls back to drop-and-recompute, which remains the
+reference semantics.  ``tests/test_engine_parity.py`` pins repaired rows,
+costs, and walk traces against full recomputation across randomized
+single-node edit sequences.
 
 Consumers never invalidate caches themselves; they call ``sync`` (directly
 or through the routed entry points :func:`repro.core.best_response`,
@@ -35,6 +58,20 @@ or through the routed entry points :func:`repro.core.best_response`,
 and trust the stamp.  Anything holding a pre-``sync`` artefact — e.g. a
 :class:`~repro.engine.cost_engine.StrategyScorer` — checks the stamp and
 refuses to run stale.
+
+**The vectorised scoring spec.**  When numpy is importable (optional — every
+path degrades to the original loops without it), scoring of SUM-objective
+unit-weight nodes whose disconnection penalty dominates every finite
+distance keeps per-first-hop *penalty-substituted target slices* and reduces
+them at C level; on games whose lengths and penalty are integer-valued
+(:attr:`IndexedGame.exact_sums` — every default game) whole strategy sets
+are scored in one vectorised pass
+(:meth:`~repro.engine.cost_engine.StrategyScorer.score_combinations`), with
+the per-environment cost vector cached and patched through repairs.
+Exactness of integer float sums below ``2**53`` is what makes the reordered
+reductions bit-identical to the reference's left-to-right loops; games
+failing any gate (MAX objective, non-unit weights, small penalties,
+non-integer lengths, fewer than 16 targets) stay on the original code path.
 
 **The sweep contract.**  Multi-profile workloads (exhaustive / sampled
 equilibrium search, the Figure 4 completion scan) go through

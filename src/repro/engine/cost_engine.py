@@ -1,4 +1,4 @@
-"""Profile-versioned flat-array cost engine.
+"""Profile-versioned flat-array cost engine with incremental row repair.
 
 :class:`CostEngine` owns one int-indexed CSR snapshot of the current
 profile's edge set, stamped with a monotonically increasing ``version``.
@@ -9,11 +9,19 @@ version stamp, so repeated probes of an unchanged profile (equilibrium
 checks, the stable tail of a best-response walk) pay for each SSSP at most
 once.
 
-The invalidation rule exploits locality: when :meth:`sync` observes that
+Invalidation exploits locality twice over.  When :meth:`sync` observes that
 exactly one node ``u`` changed its strategy, the environment ``G - u`` is by
 definition untouched (it never contained ``u``'s links), so ``u``'s cached
-rows are re-stamped to the new version instead of recomputed, while every
-other node's rows are dropped.  A multi-node change resets everything.
+rows are re-stamped to the new version instead of recomputed.  Every *other*
+node's rows are no longer dropped either: the engine appends the step to a
+bounded edit log and, on the row's next touch, **repairs** it in place with
+the dynamic-SSSP kernels (:func:`~repro.graphs.int_kernels.repair_hops_csr`
+/ :func:`~repro.graphs.int_kernels.repair_dijkstra_csr`) — bounded
+re-relaxation of only the region the arc changes could have reached, instead
+of a fresh traversal.  A multi-node change, or a row that has fallen behind
+the edit log, resets to a full recompute.  Pass ``incremental=False`` to get
+the PR 3 drop-everything-but-the-mover behaviour (the baseline of
+``scripts/bench_speed.py --incremental``).
 """
 
 from __future__ import annotations
@@ -25,11 +33,56 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 from ..core.errors import InvalidProfile
 from ..core.objectives import Objective
 from ..core.profile import StrategyProfile
-from ..graphs.int_kernels import bfs_hops_csr, build_csr, dijkstra_csr, scaled_float_row
+from ..graphs.int_kernels import (
+    bfs_hops_csr,
+    build_csr,
+    dijkstra_csr,
+    repair_dijkstra_csr,
+    repair_hops_csr,
+    scaled_float_row,
+)
 from .indexed import IndexedGame
+
+try:  # Optional vectorised backend; every path below degrades gracefully.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 Node = Hashable
 Row = List[float]
+
+#: How many single-node sync steps the engine remembers for lazy row repair.
+#: A cached row more than this many versions behind the snapshot is dropped
+#: and recomputed instead (repairing across that many edits would approach a
+#: fresh traversal anyway).
+REPAIR_LOG_LIMIT = 128
+
+#: Cached ``numpy.triu_indices`` pairs keyed by candidate count — shared by
+#: every engine because they only depend on the count.
+_TRIU_CACHE: Dict[int, tuple] = {}
+
+
+def _readonly_view(array):
+    """Return a write-protected view of a cached numpy vector.
+
+    The cache keeps the writable base (repairs patch it in place via
+    :meth:`CostEngine._update_combo`), so the view shares the scorer's
+    staleness contract: it is only meaningful until the engine's next sync.
+    Freezing it keeps caller writes from poisoning the cache.
+    """
+    view = array.view()
+    view.setflags(write=False)
+    return view
+
+
+def _triu_pairs(count: int):
+    pairs = _TRIU_CACHE.get(count)
+    if pairs is None:
+        pairs = _np.triu_indices(count, 1)
+        if len(_TRIU_CACHE) > 32:  # a handful of game sizes per process
+            _TRIU_CACHE.clear()
+        _TRIU_CACHE[count] = pairs
+    return pairs
 
 
 class CostEngine:
@@ -41,13 +94,36 @@ class CostEngine:
     snapshot.  All results are bit-identical to the reference
     :class:`~repro.core.best_response.DeviationOracle` / dict-BFS path; the
     parity tests in ``tests/test_engine_parity.py`` enforce this.
+
+    ``incremental`` (default ``True``) enables lazy in-place repair of
+    cached distance rows across single-node profile steps; ``False``
+    restores the PR 3 behaviour of dropping every non-mover row on each
+    local sync.  ``vectorized`` (default ``True``) enables the numpy-backed
+    scoring fast paths; ``False`` keeps the original per-element loops.
+    ``CostEngine(game, incremental=False, vectorized=False)`` therefore
+    reconstructs the PR 3 engine, which is the baseline of
+    ``scripts/bench_speed.py --incremental``.
     """
 
-    def __init__(self, game) -> None:
+    def __init__(
+        self, game, incremental: bool = True, vectorized: bool = True
+    ) -> None:
         # Only a weak back-reference to `game`: a strong one would pin the
         # WeakKeyDictionary entry in the per-game engine registry forever.
         self._game_ref = weakref.ref(game)
         self.indexed = IndexedGame(game)
+        self.incremental = bool(incremental)
+        self.vectorized = bool(vectorized)
+        # Repair beats recompute only while the pending edits reach a small
+        # part of the graph: past this many distinct net movers the affected
+        # region approaches the whole row and a fresh traversal is cheaper,
+        # so _ensure_current drops the rows instead.  Below n=16 a fresh BFS
+        # over the tiny row is already cheaper than the kernel's bookkeeping,
+        # so only edits that net out to nothing are worth replaying (limit 0).
+        # Tests raise the limit to pin repair-vs-recompute parity on long
+        # edit sequences.
+        n = self.indexed.n
+        self._repair_edit_limit = n // 8 if n >= 16 else 0
         #: Bumped on every observed profile change; all caches key on it.
         self.version = 0
         self._strategies: Optional[List[frozenset]] = None
@@ -60,31 +136,59 @@ class CostEngine:
         self._indptr: List[int] = [0] * (self.indexed.n + 1)
         self._indices: List[int] = []
         self._edge_lengths: Optional[List[float]] = None
+        # In-neighbour sets of the current snapshot, maintained alongside the
+        # CSR; the repair kernels seed orphaned nodes from their intact
+        # in-boundary, which a forward-only CSR cannot answer.
+        self._rev_rows: List[set] = [set() for _ in range(self.indexed.n)]
+        # version -> (mover, mover's arcs *before* that step), for lazy
+        # repair of rows that are several single-node steps behind.
+        self._edits: Dict[int, Tuple[int, frozenset]] = {}
         # masked node u -> (version, {first hop a -> distance row})
         self._env_cache: Dict[int, Tuple[int, Dict[int, Row]]] = {}
         # masked node u -> (version, {first hop a -> l(u,a) + env row}); same
         # lifecycle as _env_cache, so same-version probes of a node skip even
         # the O(n)-per-hop through-row materialisation.
         self._through_cache: Dict[int, Tuple[int, Dict[int, Row]]] = {}
-        # Bound on cached rows (environment rows plus derived through rows,
-        # which are the same size): a full equilibrium check wants all
-        # n*(n-1) rows live (total reuse), but at n in the hundreds that is
-        # O(n^3) floats, so cap the total and evict whole node entries
-        # oldest-first once exceeded.  The floor of 4n keeps any single
-        # probe's working set (n-1 env rows + n-1 through rows) cacheable.
+        # masked node u -> (version, {first hop a -> penalty-substituted
+        # target slice of the through row}); the C-level scoring fast path
+        # (see StrategyScorer) reduces over these directly.
+        self._sub_cache: Dict[int, Tuple[int, Dict[int, Row]]] = {}
+        # masked node u -> (version, {first hop a -> raw BFS hop row}); kept
+        # for uniform games only, because hop repair must happen in exact int
+        # space before rescaling to floats.
+        self._hop_cache: Dict[int, Tuple[int, Dict[int, List[int]]]] = {}
+        # node u -> {target node -> position in u's target row} (lazy), for
+        # patching substituted slices after a repair.
+        self._target_pos: Dict[int, Dict[int, int]] = {}
+        # masked node u -> (version, (size, candidates), cost vector): the
+        # batched costs of *every* candidate strategy of u against its
+        # environment.  The vector depends only on the environment, so it
+        # survives u's own strategy changes, and a repair that touches
+        # nothing re-stamps it — an equilibrium recheck after one deviation
+        # then skips almost all scoring work.
+        self._combo_cache: Dict[int, Tuple[int, tuple, object]] = {}
+        # Bound on cached rows (environment rows plus the derived through /
+        # substituted / hop rows, which are the same size): a full
+        # equilibrium check wants all rows live (total reuse), but at n in
+        # the hundreds that is O(n^3) floats, so cap the total and evict
+        # whole node entries oldest-first once exceeded.  The floor of 8n
+        # keeps any single probe's working set (up to 4 derived rows per
+        # first hop) cacheable.
         n = self.indexed.n
-        self._max_env_rows = max(4 * n, 1_000_000 // max(n, 1))
+        self._max_env_rows = max(8 * n, 2_000_000 // max(n, 1))
         self._env_rows_cached = 0
         # Nodes whose warm through dict was already counted into rows_reused
         # at the current version (so repeated probes do not inflate the stat).
         self._reuse_counted: set = set()
         # (version, {label: cost}) for the whole profile
         self._all_costs_cache: Optional[Tuple[int, Dict[Node, float]]] = None
-        #: Cache observability: how many environment rows were computed vs
-        #: served from cache, and how each sync classified its diff.
+        #: Cache observability: how many environment rows were computed,
+        #: served from cache, or repaired in place, and how each sync
+        #: classified its diff.
         self.stats: Dict[str, int] = {
             "rows_computed": 0,
             "rows_reused": 0,
+            "rows_repaired": 0,
             "rows_evicted": 0,
             "noop_syncs": 0,
             "local_syncs": 0,
@@ -111,9 +215,11 @@ class CostEngine:
         """Point the engine at ``profile``, invalidating as little as possible.
 
         Diffs the profile against the current snapshot: no change keeps the
-        version (full cache reuse); a single-node change bumps the version
-        but preserves that node's own environment rows (``G - u`` does not
-        contain ``u``'s links); anything larger resets all caches.
+        version (full cache reuse); a single-node change bumps the version,
+        preserves the mover's own environment rows (``G - u`` does not
+        contain ``u``'s links) and, in incremental mode, records the step in
+        the edit log so every other node's still-cached rows can be repaired
+        in place on their next touch; anything larger resets all caches.
 
         Returns the dense int ids of the nodes whose strategies changed —
         ``()`` for a no-op sync — or ``None`` on the first sync, when there
@@ -141,6 +247,7 @@ class CostEngine:
         else:
             changed = None
 
+        old_arcs: List[frozenset] = []
         try:
             if changed is None:
                 self._strategies = [
@@ -152,6 +259,7 @@ class CostEngine:
                 remapped = [
                     frozenset(index[target] for target in raw[u]) for u in changed
                 ]
+                old_arcs = [self._strategies[u] for u in changed]
                 for u, strategy in zip(changed, remapped):
                     self._strategies[u] = strategy
         except KeyError as exc:
@@ -161,36 +269,79 @@ class CostEngine:
 
         self._label_strategies = raw
         self.version += 1
+        if changed is not None:
+            # Keep the in-neighbour view in lockstep with the CSR: only the
+            # changed nodes' arcs moved.
+            rev = self._rev_rows
+            for u, old in zip(changed, old_arcs):
+                new = self._strategies[u]
+                for a in old - new:
+                    rev[a].discard(u)
+                for a in new - old:
+                    rev[a].add(u)
         self._rebuild_csr(changed)
         self._all_costs_cache = None
+        self._reuse_counted.clear()
         if changed is not None and len(changed) == 1:
             self.stats["local_syncs"] += 1
             changed_node = changed[0]
-            kept = self._env_cache.get(changed_node)
-            kept_through = self._through_cache.get(changed_node)
-            self._env_cache.clear()
-            self._through_cache.clear()
-            self._env_rows_cached = 0
-            self._reuse_counted.clear()
-            if kept is not None:
-                self._env_cache[changed_node] = (self.version, kept[1])
-                self._env_rows_cached += len(kept[1])
-            if kept_through is not None:
-                self._through_cache[changed_node] = (self.version, kept_through[1])
-                self._env_rows_cached += len(kept_through[1])
+            if self.incremental:
+                self._edits[self.version] = (changed_node, old_arcs[0])
+                if len(self._edits) > REPAIR_LOG_LIMIT:
+                    del self._edits[min(self._edits)]
+                # The mover's masked rows never contained its own arcs: when
+                # they were current a moment ago, re-stamp them eagerly so
+                # sweep-style probes of the mover stay entirely free.  Rows
+                # further behind are left stale for lazy repair (the edit log
+                # replay skips the mover's own steps anyway).
+                for cache in self._row_caches():
+                    entry = cache.get(changed_node)
+                    if entry is not None and entry[0] == self.version - 1:
+                        cache[changed_node] = (self.version, entry[1])
+                combo = self._combo_cache.get(changed_node)
+                if combo is not None and combo[0] == self.version - 1:
+                    self._combo_cache[changed_node] = (
+                        self.version, combo[1], combo[2]
+                    )
+            else:
+                kept = [
+                    (cache, cache.get(changed_node)) for cache in self._row_caches()
+                ]
+                kept_combo = self._combo_cache.get(changed_node)
+                self._clear_row_caches()
+                for cache, entry in kept:
+                    if entry is not None:
+                        cache[changed_node] = (self.version, entry[1])
+                        self._env_rows_cached += len(entry[1])
+                if kept_combo is not None:
+                    self._combo_cache[changed_node] = (
+                        self.version, kept_combo[1], kept_combo[2]
+                    )
+                    self._env_rows_cached += self._combo_units(kept_combo[2])
         else:
             self.stats["full_syncs"] += 1
-            self._env_cache.clear()
-            self._through_cache.clear()
-            self._env_rows_cached = 0
-            self._reuse_counted.clear()
+            self._clear_row_caches()
+            self._edits.clear()
         return tuple(changed) if changed is not None else None
+
+    def _clear_row_caches(self) -> None:
+        self._env_cache.clear()
+        self._through_cache.clear()
+        self._sub_cache.clear()
+        self._hop_cache.clear()
+        self._combo_cache.clear()
+        self._env_rows_cached = 0
 
     def _rebuild_csr(self, changed: Optional[List[int]] = None) -> None:
         indexed = self.indexed
         strategies = self._strategies
         if changed is None:
             self._sorted_rows = [sorted(strategies[u]) for u in range(indexed.n)]
+            rev: List[set] = [set() for _ in range(indexed.n)]
+            for u, row in enumerate(self._sorted_rows):
+                for v in row:
+                    rev[v].add(u)
+            self._rev_rows = rev
         else:
             for u in changed:
                 self._sorted_rows[u] = sorted(strategies[u])
@@ -220,6 +371,266 @@ class CostEngine:
         return self._label_strategies
 
     # ------------------------------------------------------------------ #
+    # Lazy repair
+    # ------------------------------------------------------------------ #
+    def _row_caches(self) -> Tuple[Dict[int, Tuple[int, dict]], ...]:
+        return (self._env_cache, self._through_cache, self._sub_cache, self._hop_cache)
+
+    def _combo_units(self, vector) -> int:
+        """Row-equivalent accounting weight of one combination cost vector."""
+        return 1 + len(vector) // max(self.indexed.n, 1)
+
+    def _drop_node(self, u: int) -> int:
+        """Remove every cached row of masked node ``u``; returns rows dropped."""
+        dropped = 0
+        for cache in self._row_caches():
+            entry = cache.pop(u, None)
+            if entry is not None:
+                dropped += len(entry[1])
+        combo = self._combo_cache.pop(u, None)
+        if combo is not None:
+            dropped += self._combo_units(combo[2])
+        self._env_rows_cached -= dropped
+        return dropped
+
+    def _repairable(self, entry_version: int) -> bool:
+        if not self.incremental:
+            return False
+        edits = self._edits
+        if self.version - entry_version > len(edits):
+            return False
+        return all(v in edits for v in range(entry_version + 1, self.version + 1))
+
+    def _ensure_current(self, u: int) -> None:
+        """Bring masked node ``u``'s cached rows up to the current version.
+
+        Still-current entries are untouched; stale entries within the edit
+        log are repaired in place (the invalidation contract's repair step);
+        anything older is dropped so the normal compute path refills it.
+        """
+        entry = self._env_cache.get(u)
+        if entry is not None:
+            if entry[0] == self.version:
+                return
+            if self._repairable(entry[0]):
+                edits = self._pending_edits(u, entry[0])
+                if edits is not None:
+                    self._repair_node(u, entry, edits)
+                    return
+            self.stats["rows_evicted"] += self._drop_node(u)
+            return
+        # No environment rows: any stale derived rows are unusable on their
+        # own (they cannot be repaired without the env rows they came from).
+        dropped = 0
+        for cache in (self._through_cache, self._sub_cache, self._hop_cache):
+            stale = cache.get(u)
+            if stale is not None and stale[0] != self.version:
+                del cache[u]
+                dropped += len(stale[1])
+        combo = self._combo_cache.get(u)
+        if combo is not None and combo[0] != self.version:
+            del self._combo_cache[u]
+            dropped += self._combo_units(combo[2])
+        self._env_rows_cached -= dropped
+        self.stats["rows_evicted"] += dropped
+
+    def _pending_edits(
+        self, u: int, entry_version: int
+    ) -> Optional[List[Tuple[int, tuple, tuple]]]:
+        """Collapse the edit log since ``entry_version`` into net per-mover diffs.
+
+        Replaying in one shot (rather than edit by edit) is what makes
+        multi-step repair correct: each intermediate graph only existed
+        transiently, but the kernels compare the row's *origin* graph with
+        the *current* one directly.  A node that moved away and back nets
+        out to nothing; the masked node ``u``'s own steps are skipped
+        because ``G - u`` never contained its arcs.
+
+        Returns ``None`` once the distinct movers exceed the repair budget —
+        the affected region would approach the whole row, so the caller
+        recomputes instead.
+        """
+        cap = self._repair_edit_limit + 1  # u's own steps are free to skip
+        origin: Dict[int, frozenset] = {}
+        for version in range(entry_version + 1, self.version + 1):
+            mover, arcs_before = self._edits[version]
+            if mover not in origin:
+                if len(origin) >= cap:
+                    return None
+                origin[mover] = arcs_before
+        edits: List[Tuple[int, tuple, tuple]] = []
+        for mover, arcs_before in origin.items():
+            if mover == u:
+                continue
+            arcs_now = self._strategies[mover]
+            if arcs_now != arcs_before:
+                edits.append(
+                    (mover, tuple(arcs_before - arcs_now), tuple(arcs_now - arcs_before))
+                )
+        if len(edits) > self._repair_edit_limit:
+            return None
+        return edits
+
+    def _repair_node(
+        self,
+        u: int,
+        entry: Tuple[int, Dict[int, Row]],
+        edits: List[Tuple[int, tuple, tuple]],
+    ) -> None:
+        version = self.version
+        entry_version, env_rows = entry
+        indexed = self.indexed
+
+        def live(cache):
+            stale = cache.get(u)
+            if stale is None:
+                return None
+            if stale[0] != entry_version:  # pragma: no cover - defensive
+                del cache[u]
+                self._env_rows_cached -= len(stale[1])
+                return None
+            return stale[1]
+
+        through_rows = live(self._through_cache)
+        sub_rows = live(self._sub_cache)
+        hop_rows = live(self._hop_cache)
+
+        rows_changed = False
+        changed_hops: List[int] = []
+        if edits:
+            n = indexed.n
+            indptr, indices = self._indptr, self._indices
+            rev = self._rev_rows
+            uniform = indexed.uniform_lengths
+            unit = indexed.unit_length
+            penalty = indexed.penalty
+            length_row_u = indexed.length_rows[u]
+            inf = math.inf
+            positions: Optional[Dict[int, int]] = None
+            for first_hop, row in env_rows.items():
+                hop_row = hop_rows.get(first_hop) if hop_rows is not None else None
+                if uniform and hop_row is None:  # pragma: no cover - defensive
+                    hop_row = bfs_hops_csr(indptr, indices, n, first_hop, u)
+                    touched = range(n)
+                    row[:] = scaled_float_row(hop_row, unit)
+                    if hop_rows is not None:
+                        hop_rows[first_hop] = hop_row
+                elif uniform:
+                    touched = repair_hops_csr(
+                        indptr, indices, hop_row, first_hop, edits, rev, u
+                    )
+                    for t in touched:
+                        h = hop_row[t]
+                        row[t] = float(h) * unit if h >= 0 else inf
+                else:
+                    touched = repair_dijkstra_csr(
+                        indptr,
+                        indices,
+                        self._edge_lengths,
+                        row,
+                        first_hop,
+                        edits,
+                        rev,
+                        indexed.length_rows,
+                        u,
+                    )
+                self.stats["rows_repaired"] += 1
+                if not touched:
+                    continue
+                rows_changed = True
+                changed_hops.append(first_hop)
+                through_row = (
+                    through_rows.get(first_hop) if through_rows is not None else None
+                )
+                if through_row is None:
+                    continue
+                hop_length = length_row_u[first_hop]
+                for t in touched:
+                    through_row[t] = hop_length + row[t]
+                sub_row = sub_rows.get(first_hop) if sub_rows is not None else None
+                if sub_row is not None:
+                    if positions is None:
+                        positions = self._target_positions(u)
+                    for t in touched:
+                        i = positions.get(t)
+                        if i is not None:
+                            d = through_row[t]
+                            sub_row[i] = d if d < inf else penalty
+
+        for cache in self._row_caches():
+            stale = cache.get(u)
+            if stale is not None:
+                cache[u] = (version, stale[1])
+        combo = self._combo_cache.get(u)
+        if combo is not None:
+            if not rows_changed:
+                # No row value moved, so the batched cost vector of every
+                # candidate strategy against u's environment is still exact.
+                self._combo_cache[u] = (version, combo[1], combo[2])
+            elif sub_rows is not None and self._update_combo(
+                combo, changed_hops, sub_rows
+            ):
+                self._combo_cache[u] = (version, combo[1], combo[2])
+            else:
+                del self._combo_cache[u]
+                self._env_rows_cached -= self._combo_units(combo[2])
+
+    def _update_combo(
+        self,
+        combo: Tuple[int, tuple, object],
+        changed_hops: List[int],
+        sub_rows: Dict[int, Row],
+    ) -> bool:
+        """Patch a cached combination cost vector after a row repair, in place.
+
+        Only the combinations containing a changed first hop can have moved,
+        so their entries are re-reduced from the (already patched)
+        substituted rows — bit-identical to a full rebuild, at a cost
+        proportional to the changed hops.  Returns ``False`` when patching
+        would not pay off (too many hops moved, or a needed row is gone), in
+        which case the caller drops the vector instead.
+        """
+        size, candidates = combo[1]
+        vector = combo[2]
+        count = len(candidates)
+        if 3 * len(changed_hops) > count:
+            return False
+        index_of = {c: i for i, c in enumerate(candidates)}
+        if size == 1:
+            for hop in changed_hops:
+                i = index_of.get(hop)
+                if i is None:
+                    continue
+                row = sub_rows.get(hop)
+                if row is None:
+                    return False
+                vector[i] = row.sum()
+            return True
+        rows = []
+        for c in candidates:
+            row = sub_rows.get(c)
+            if row is None:
+                return False
+            rows.append(row)
+        matrix = _np.stack(rows)
+        left, right = _triu_pairs(count)
+        for hop in changed_hops:
+            i = index_of.get(hop)
+            if i is None:
+                continue
+            mask = (left == i) | (right == i)
+            partners = _np.where(left[mask] == i, right[mask], left[mask])
+            vector[mask] = _np.minimum(matrix[i], matrix[partners]).sum(axis=1)
+        return True
+
+    def _target_positions(self, u: int) -> Dict[int, int]:
+        positions = self._target_pos.get(u)
+        if positions is None:
+            positions = {t: i for i, t in enumerate(self.indexed.target_rows[u])}
+            self._target_pos[u] = positions
+        return positions
+
+    # ------------------------------------------------------------------ #
     # Distance rows
     # ------------------------------------------------------------------ #
     def _compute_row(self, source: int, forbidden: int) -> Row:
@@ -242,23 +653,49 @@ class CostEngine:
         """Return ``d_{G-u}(first_hop, ·)`` as a dense float row (``inf`` = unreachable).
 
         Rows are cached per ``(version, u)``; within one version each first
-        hop costs at most one SSSP no matter how many strategies probe it.
+        hop costs at most one SSSP no matter how many strategies probe it,
+        and rows stranded at an older version by single-node syncs are
+        repaired in place before use.
         """
         self._require_sync()
+        self._ensure_current(u)
         entry = self._env_cache.get(u)
         if entry is None:
             rows: Dict[int, Row] = {}
             self._env_cache[u] = (self.version, rows)
         else:
-            # sync() clears or re-stamps every entry, so anything still in the
-            # cache always carries the current version.
+            # _ensure_current repaired or dropped anything stale, so an entry
+            # here always carries the current version.
             rows = entry[1]
         row = rows.get(first_hop)
         if row is None:
-            row = self._compute_row(first_hop, forbidden=u)
+            indexed = self.indexed
+            if indexed.uniform_lengths:
+                hop_entry = self._hop_cache.get(u)
+                if hop_entry is None:
+                    hop_rows: Dict[int, List[int]] = {}
+                    self._hop_cache[u] = (self.version, hop_rows)
+                else:
+                    hop_rows = hop_entry[1]
+                hop_row = bfs_hops_csr(
+                    self._indptr, self._indices, indexed.n, first_hop, u
+                )
+                hop_rows[first_hop] = hop_row
+                row = scaled_float_row(hop_row, indexed.unit_length)
+                added = 2
+            else:
+                row = dijkstra_csr(
+                    self._indptr,
+                    self._indices,
+                    self._edge_lengths,
+                    indexed.n,
+                    first_hop,
+                    u,
+                )
+                added = 1
             rows[first_hop] = row
             self.stats["rows_computed"] += 1
-            self._env_rows_cached += 1
+            self._env_rows_cached += added
             if self._env_rows_cached > self._max_env_rows:
                 self._evict_env_rows(keep=u)
         else:
@@ -276,19 +713,17 @@ class CostEngine:
                 break
             if node == keep:
                 continue
-            _, rows = self._env_cache.pop(node)
-            through_entry = self._through_cache.pop(node, None)
-            dropped = len(rows) + (len(through_entry[1]) if through_entry else 0)
-            self._env_rows_cached -= dropped
-            self.stats["rows_evicted"] += dropped
+            self.stats["rows_evicted"] += self._drop_node(node)
 
     def through_rows(self, u: int) -> Dict[int, Row]:
         """Return the current-version through-row dict for masked node ``u``.
 
         A through row is ``l(u, a) + d_{G-u}(a, ·)`` for one first hop ``a``;
         scorers fill the dict lazily and, because it lives on the engine, a
-        later probe of the same node at the same version starts warm.
+        later probe of the same node at the same version starts warm (after
+        any pending in-place repair).
         """
+        self._ensure_current(u)
         entry = self._through_cache.get(u)
         if entry is None:
             rows: Dict[int, Row] = {}
@@ -303,15 +738,35 @@ class CostEngine:
                 self.stats["rows_reused"] += len(rows)
         return rows
 
-    def _note_through_row(self, u: int, rows: Dict[int, Row]) -> None:
-        """Account one newly materialised through row against the memory cap.
+    def sub_rows(self, u: int) -> Dict[int, Row]:
+        """Return the penalty-substituted target slices for masked node ``u``.
+
+        One slice per first hop: the through row sampled at ``u``'s positive
+        targets, with unreachable entries replaced by the disconnection
+        penalty.  Only valid (and only built) when the penalty dominates
+        every finite distance — see :attr:`IndexedGame.penalty_dominates` —
+        which is what lets the scoring fast path reduce over the slices with
+        C-level ``min``/``sum``.
+        """
+        self._ensure_current(u)
+        entry = self._sub_cache.get(u)
+        if entry is None:
+            rows: Dict[int, Row] = {}
+            self._sub_cache[u] = (self.version, rows)
+        else:
+            rows = entry[1]
+        return rows
+
+    def _note_derived_row(self, u: int, cache_name: str, rows: Dict[int, Row]) -> None:
+        """Account one newly materialised derived row against the memory cap.
 
         ``rows`` is the scorer's dict; if eviction already detached it from
-        ``_through_cache`` the row lives outside the cache (garbage once the
+        the engine cache the row lives outside the cache (garbage once the
         scorer dies) and must not be counted, or the counter would drift above
         the caches' real contents and thrash eviction for the whole version.
         """
-        entry = self._through_cache.get(u)
+        cache = self._through_cache if cache_name == "through" else self._sub_cache
+        entry = cache.get(u)
         if entry is None or entry[1] is not rows:
             return
         self._env_rows_cached += 1
@@ -387,7 +842,13 @@ class StrategyScorer:
     Bound to one ``(engine, version, node)``; per candidate first hop ``a``
     it lazily materialises the *through* row ``l(u, a) + d_{G-u}(a, ·)`` so
     that scoring a strategy is nothing but elementwise mins over cached
-    lists.  Invalid to use after the engine syncs to a different profile.
+    lists.  For SUM-objective, unit-weight nodes of games whose
+    disconnection penalty dominates every finite distance (every default
+    game), it additionally keeps per-hop penalty-substituted target slices
+    and reduces them with C-level ``sum(map(min, ...))`` — value-identical
+    to the reference loop because substituting the penalty for ``inf``
+    commutes with ``min`` exactly when the penalty is at least every finite
+    distance.  Invalid to use after the engine syncs to a different profile.
     """
 
     __slots__ = (
@@ -399,9 +860,12 @@ class StrategyScorer:
         "penalty",
         "is_sum",
         "unit_weights",
+        "fast_sum",
+        "fast_batch",
         "identity_labels",
         "_length_row",
         "_through",
+        "_sub",
         "_version",
     )
 
@@ -417,9 +881,24 @@ class StrategyScorer:
         # Multiplying by an exact 1.0 weight is the identity, so the unit-weight
         # fast path below stays bit-identical to the reference oracle.
         self.unit_weights = all(w == 1.0 for w in self.weights)
+        # Below ~16 targets the fixed per-call overhead of the substituted-row
+        # machinery (and of numpy) loses to the plain loops, so small games
+        # stay on the original code path end to end.
+        self.fast_sum = (
+            engine.vectorized
+            and self.is_sum
+            and self.unit_weights
+            and indexed.penalty_dominates
+            and len(self.targets) >= 16
+        )
+        # The batch path sums in vectorised (pairwise) order, which is only
+        # bit-identical to the reference's left-to-right loop when every sum
+        # is exact — see IndexedGame.exact_sums.
+        self.fast_batch = self.fast_sum and indexed.exact_sums and _np is not None
         self.identity_labels = indexed.identity_labels
         self._length_row = indexed.length_rows[u]
         self._through = engine.through_rows(u)
+        self._sub = engine.sub_rows(u) if self.fast_sum else None
         self._version = engine.version
 
     def _through_row(self, first_hop: int) -> Row:
@@ -429,8 +908,62 @@ class StrategyScorer:
             env = self.engine.env_row(self.u, first_hop)
             row = [hop_length + d for d in env]
             self._through[first_hop] = row
-            self.engine._note_through_row(self.u, self._through)
+            self.engine._note_derived_row(self.u, "through", self._through)
         return row
+
+    def _sub_row(self, first_hop: int) -> Row:
+        through = self._through_row(first_hop)
+        penalty = self.penalty
+        inf = math.inf
+        row = [d if d < inf else penalty for d in map(through.__getitem__, self.targets)]
+        if self.fast_batch:
+            row = _np.array(row)
+        self._sub[first_hop] = row
+        self.engine._note_derived_row(self.u, "sub", self._sub)
+        return row
+
+    def score_combinations(self, candidates: List[int], size: int):
+        """Score every size-``size`` combination of ``candidates`` (dense ints).
+
+        Returns a read-only numpy vector of costs in ``itertools.combinations``
+        order — the exact order :meth:`BBCGame.feasible_strategies` enumerates
+        when :meth:`BBCGame.combination_plan` applies.  Only valid on
+        ``fast_batch`` scorers (exact integer-valued sums), where the
+        vectorised reduction is bit-identical to scoring one by one.  Like the
+        scorer itself, the returned vector is only valid until the engine
+        syncs to another profile: it views the engine's cached buffer, which
+        later repairs patch in place (copy it to keep a snapshot).
+        """
+        engine = self.engine
+        if self._version != engine.version:
+            raise InvalidProfile("scorer is stale: the engine synced to a new profile")
+        key = (size, tuple(candidates))
+        cached = engine._combo_cache.get(self.u)
+        if cached is not None and cached[0] == self._version and cached[1] == key:
+            return _readonly_view(cached[2])
+        sub = self._sub
+        rows = []
+        for a in candidates:
+            row = sub.get(a)
+            if row is None:
+                row = self._sub_row(a)
+            rows.append(row)
+        if not rows:
+            return _np.empty(0)
+        matrix = _np.stack(rows)
+        if size == 1:
+            costs = matrix.sum(axis=1)
+        else:
+            left, right = _triu_pairs(len(candidates))
+            costs = _np.minimum(matrix[left], matrix[right]).sum(axis=1)
+        previous = engine._combo_cache.get(self.u)
+        if previous is not None:
+            engine._env_rows_cached -= engine._combo_units(previous[2])
+        engine._combo_cache[self.u] = (self._version, key, costs)
+        engine._env_rows_cached += engine._combo_units(costs)
+        if engine._env_rows_cached > engine._max_env_rows:
+            engine._evict_env_rows(keep=self.u)
+        return _readonly_view(costs)
 
     def score(self, strategy: Iterable[Node]) -> float:
         """Return the node's cost for a strategy given as node *labels*."""
@@ -443,6 +976,31 @@ class StrategyScorer:
         """Return the node's cost for a strategy given as dense int ids."""
         if self._version != self.engine.version:
             raise InvalidProfile("scorer is stale: the engine synced to a new profile")
+        if self.fast_sum:
+            sub = self._sub
+            rows = []
+            for a in strategy:
+                row = sub.get(a)
+                if row is None:
+                    row = self._sub_row(a)
+                rows.append(row)
+            num_rows = len(rows)
+            if num_rows == 0:
+                total = 0.0
+                for w in self.weights:
+                    total += w * self.penalty
+                return total
+            if self.fast_batch:
+                if num_rows == 2:
+                    return float(_np.minimum(rows[0], rows[1]).sum())
+                if num_rows == 1:
+                    return float(rows[0].sum())
+                return float(_np.minimum.reduce(rows).sum())
+            if num_rows == 2:
+                return sum(map(min, rows[0], rows[1]))
+            if num_rows == 1:
+                return sum(rows[0])
+            return sum(map(min, *rows))
         through = self._through
         rows = []
         for a in strategy:

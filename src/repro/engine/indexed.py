@@ -38,6 +38,8 @@ class IndexedGame:
         "objective",
         "uniform_lengths",
         "unit_length",
+        "penalty_dominates",
+        "exact_sums",
         "identity_labels",
     )
 
@@ -54,6 +56,12 @@ class IndexedGame:
         # For uniform-length games every length equals the maximum, which is
         # exactly the scale factor DeviationOracle applies to BFS hop counts.
         self.unit_length = game.max_link_length()
+        # A simple path has at most n-1 edges, so every finite distance is at
+        # most (n-1) * max length.  When the disconnection penalty is at least
+        # that (every default game: M = 10 n * max length), substituting the
+        # penalty for `inf` commutes with `min` exactly — the licence for the
+        # scorer's C-level fast path over penalty-substituted rows.
+        self.penalty_dominates = self.penalty >= (self.n - 1) * self.unit_length
 
         self.length_rows: List[List[float]] = []
         self.target_rows: List[List[int]] = []
@@ -74,6 +82,21 @@ class IndexedGame:
         self.identity_labels = all(
             type(label) is int for label in self.labels
         ) and self.labels == tuple(range(self.n))
+        # With integer-valued lengths and penalty, every distance, penalty
+        # substitution, and cost sum is an exact integer, and as long as the
+        # largest possible sum (n addends, each at most the dominating
+        # penalty) stays below 2**53, float addition never rounds — so *any*
+        # summation order gives the same bits.  That is the licence for
+        # vectorised (pairwise-summing) reductions in the scorer's batch path.
+        self.exact_sums = (
+            float(self.penalty).is_integer()
+            and self.n * max(self.penalty, (self.n - 1) * self.unit_length) <= 2.0**53
+            and all(
+                float(length).is_integer()
+                for row in self.length_rows
+                for length in row
+            )
+        )
 
     def to_ints(self, labels) -> List[int]:
         """Map an iterable of node labels to their dense int ids."""

@@ -289,9 +289,15 @@ class SweepEvaluator:
         self._account_memo(1)
         return verdict
 
-    def _scorer(self, u: int):
-        scorer = self.engine.scorer(self.labels[u])
+    def _scorer_obj(self, u: int):
+        return self.engine.scorer(self.labels[u])
+
+    @staticmethod
+    def _score_callable(scorer):
         return scorer.score_ints if scorer.identity_labels else scorer.score
+
+    def _scorer(self, u: int):
+        return self._score_callable(self._scorer_obj(u))
 
     def _full_probe(self, u: int, strategy: FrozenSet[Node]) -> Tuple[bool, float]:
         """Probe node ``u`` exactly like the reference, harvesting the memo.
@@ -300,21 +306,35 @@ class SweepEvaluator:
         current cost, updated only when ``cost < best - 1e-9`` — the exact
         :func:`~repro.core.best_response` semantics the verdict needs) and the
         *pure* minimum (what later profiles with the same environment compare
-        against).
+        against).  On exact-sum games the pass is batch-scored through
+        :meth:`~repro.engine.cost_engine.StrategyScorer.score_combinations`,
+        which is bit-identical to the loop.
         """
+        from ..core.best_response import batched_combination_costs, chained_best_from_vector
+
         label = self.labels[u]
-        score = self._scorer(u)
+        scorer = self._scorer_obj(u)
+        score = self._score_callable(scorer)
         current = score(strategy)
         chained = current
         pure = math.inf
-        for candidate in self.game.feasible_strategies(
-            label, maximal_only=True, limit=self.deviation_limit
-        ):
-            cost = score(candidate)
-            if cost < chained - _CHAIN_EPS:
-                chained = cost
-            if cost < pure:
-                pure = cost
+        batch = batched_combination_costs(
+            self.game, scorer, label, None, self.deviation_limit
+        )
+        if batch is not None:
+            _, _, costs = batch
+            if len(costs):
+                chained, _ = chained_best_from_vector(costs, chained)
+                pure = float(costs.min())
+        else:
+            for candidate in self.game.feasible_strategies(
+                label, maximal_only=True, limit=self.deviation_limit
+            ):
+                cost = score(candidate)
+                if cost < chained - _CHAIN_EPS:
+                    chained = cost
+                if cost < pure:
+                    pure = cost
         verdict = (current - chained) <= self.tolerance
         return verdict, pure
 

@@ -42,6 +42,8 @@ from .int_kernels import (
     bfs_hops_csr,
     build_csr,
     dijkstra_csr,
+    repair_dijkstra_csr,
+    repair_hops_csr,
     scaled_float_row,
 )
 from .generators import (
@@ -104,6 +106,8 @@ __all__ = [
     "build_csr",
     "bfs_hops_csr",
     "dijkstra_csr",
+    "repair_dijkstra_csr",
+    "repair_hops_csr",
     "scaled_float_row",
     "all_pairs_hop_distances",
     "all_pairs_weighted_distances",

@@ -70,14 +70,21 @@ def floyd_warshall(
 
 
 def eccentricity(
-    graph: DiGraph, source: Node, weighted: bool = False
+    graph: DiGraph,
+    source: Node,
+    weighted: bool = False,
+    length_attr: str = "length",
+    default_length: float = 1,
 ) -> Optional[float]:
     """Return the eccentricity of ``source``: its maximum distance to any node.
 
-    Returns ``None`` when some node is unreachable from ``source``.
+    When ``weighted`` is true, edge lengths are read from ``length_attr``
+    (falling back to ``default_length`` when absent), matching
+    :func:`all_pairs_weighted_distances`.  Returns ``None`` when some node is
+    unreachable from ``source``.
     """
     if weighted:
-        dist = dijkstra_distances(graph, source)
+        dist = dijkstra_distances(graph, source, length_attr, default_length)
     else:
         dist = bfs_distances(graph, source)
     if len(dist) < graph.number_of_nodes():
@@ -85,15 +92,24 @@ def eccentricity(
     return max(dist.values()) if dist else 0
 
 
-def diameter(graph: DiGraph, weighted: bool = False) -> Optional[float]:
+def diameter(
+    graph: DiGraph,
+    weighted: bool = False,
+    length_attr: str = "length",
+    default_length: float = 1,
+) -> Optional[float]:
     """Return the directed diameter of ``graph``.
 
-    Returns ``None`` when the graph is not strongly connected (some pair has
-    no connecting path).
+    ``length_attr`` / ``default_length`` select the edge lengths for the
+    ``weighted`` variant, as in :func:`eccentricity`.  Returns ``None`` when
+    the graph is not strongly connected (some pair has no connecting path).
     """
     worst: float = 0
     for node in graph.nodes():
-        ecc = eccentricity(graph, node, weighted=weighted)
+        ecc = eccentricity(
+            graph, node, weighted=weighted,
+            length_attr=length_attr, default_length=default_length,
+        )
         if ecc is None:
             return None
         worst = max(worst, ecc)

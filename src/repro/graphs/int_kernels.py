@@ -13,12 +13,20 @@ flat lists:
 * ``dijkstra_csr`` returns weighted distances (``inf`` = unreachable) using a
   heap of plain ``(dist, node)`` pairs — ints always compare, so no tiebreak
   counter is needed — and edge lengths aligned with ``indices`` instead of
-  per-edge attribute-dict lookups.
+  per-edge attribute-dict lookups;
+* ``repair_hops_csr`` / ``repair_dijkstra_csr`` *repair* a cached distance
+  row in place after some nodes' out-arcs changed, by bounded re-relaxation
+  of the affected region instead of a fresh traversal (dynamic SSSP in the
+  Ramalingam–Reps style: find the region whose old distance lost support,
+  reset it, then run a Dijkstra continuation seeded from the region's intact
+  boundary and from the added arcs).  Repaired rows are bit-identical to
+  recomputing from scratch; ``tests/test_engine_parity.py`` pins it.
 
 Both traversals accept a ``forbidden`` node that is never entered, which lets
 :class:`repro.engine.CostEngine` compute ``d_{G-u}`` distances by masking
 ``u`` out of the *shared* profile snapshot instead of rebuilding a per-oracle
-environment graph.
+environment graph.  The repair kernels honour the same mask, so masked
+``d_{G-u}`` rows repair exactly like unmasked ones.
 
 Edge lengths are assumed non-negative; game construction validates this
 (:meth:`repro.core.game.BBCGame._validate_tables`), so the kernels skip the
@@ -29,8 +37,8 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from heapq import heappop, heappush
-from typing import List, Sequence, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Iterable, List, Sequence, Tuple
 
 #: Sentinel for unreachable nodes in :func:`bfs_hops_csr` results.
 UNREACHED = -1
@@ -115,6 +123,245 @@ def dijkstra_csr(
             if not done[head]:
                 heappush(heap, (d + lengths[offset], head))
     return dist
+
+
+def _phase1_affected(
+    dist,
+    tight_seeds,
+    edit_map,
+    indptr,
+    indices,
+    weight_of,
+    source: int,
+    forbidden: int,
+) -> set:
+    """Return the (over-approximate) set of nodes whose old distance lost support.
+
+    Starting from the heads of removed *tight* arcs, follow old-graph tight
+    edges forward: a tight edge ``(v, y)`` (``dist[v] + w(v, y) == dist[y]``)
+    means ``y``'s old distance may have been supported through ``v``.  Nodes
+    with alternative support get swept in too — that is safe, merely wasteful,
+    because phase 2 recomputes every marked node exactly.  The ``source``
+    (distance 0 by definition, not by in-edges) and ``forbidden`` (never
+    entered) can never lose support and are excluded.
+
+    Old-graph out-edges of an edited node are reconstructed from the new CSR
+    row by dropping its added arcs and appending its removed arcs.
+    """
+    affected: set = set()
+    stack = list(tight_seeds)
+    while stack:
+        v = stack.pop()
+        if v in affected:
+            continue
+        affected.add(v)
+        dv = dist[v]
+        edit = edit_map.get(v)
+        if edit is None:
+            old_out = indices[indptr[v] : indptr[v + 1]]
+        else:
+            removed, added = edit
+            old_out = [y for y in indices[indptr[v] : indptr[v + 1]] if y not in added]
+            old_out.extend(removed)
+        for y in old_out:
+            if y == source or y == forbidden or y in affected:
+                continue
+            if dist[y] == dv + weight_of(v, y):
+                stack.append(y)
+    return affected
+
+
+def repair_hops_csr(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    hops: List[int],
+    source: int,
+    edits: Sequence[Tuple[int, Iterable[int], Iterable[int]]],
+    rev_rows: Sequence[Iterable[int]],
+    forbidden: int = -1,
+) -> List[int]:
+    """Repair a BFS hop row in place after the arcs in ``edits`` changed.
+
+    ``hops`` must be a valid hop row from ``source`` (:data:`UNREACHED` for
+    unreachable, ``forbidden`` masked) for the *old* graph; ``indptr`` /
+    ``indices`` describe the **new** graph.  Each edit is ``(mover,
+    removed_heads, added_heads)``: the out-arcs ``mover`` lost and gained
+    between the two graphs.  ``rev_rows[v]`` lists the in-neighbours of ``v``
+    in the new graph.  Returns the node ids whose entry may have changed
+    (a superset of the actual changes), for patching derived rows.
+
+    The repaired row is exactly what :func:`bfs_hops_csr` would return on the
+    new graph — hop counts are ints, so equality is literal.
+    """
+    edit_map = {}
+    tight_seeds = []
+    for mover, removed, added in edits:
+        if mover == forbidden:
+            continue  # the masked graph never contained this node's arcs
+        edit_map[mover] = (frozenset(removed), frozenset(added))
+        dm = hops[mover]
+        if dm < 0:
+            continue  # unreachable mover: its arcs support nothing
+        for a in removed:
+            if a != source and a != forbidden and hops[a] == dm + 1:
+                tight_seeds.append(a)
+    if not edit_map:
+        return []
+
+    touched: List[int] = []
+    heap: List[Tuple[int, int]] = []
+    if tight_seeds:
+        affected = _phase1_affected(
+            hops, tight_seeds, edit_map, indptr, indices,
+            lambda v, y: 1, source, forbidden,
+        )
+        for v in affected:
+            hops[v] = UNREACHED
+            touched.append(v)
+        # Seed each orphaned node from its intact boundary: every in-arc from
+        # a node that kept a (finite) distance.
+        for v in affected:
+            best = -1
+            for p in rev_rows[v]:
+                if p == forbidden or p in affected:
+                    continue
+                hp = hops[p]
+                if hp >= 0 and (best < 0 or hp + 1 < best):
+                    best = hp + 1
+            if best >= 0:
+                heap.append((best, v))
+    else:
+        affected = set()
+
+    # Added arcs from still-reachable movers may shorten distances; movers
+    # that are themselves orphaned relax their new arcs when they pop.
+    for mover, (removed, added) in edit_map.items():
+        dm = hops[mover]
+        if dm < 0:
+            continue
+        cand = dm + 1
+        for a in added:
+            if a == forbidden or a in affected:
+                continue
+            ha = hops[a]
+            if ha < 0 or cand < ha:
+                heap.append((cand, a))
+
+    if heap:
+        heapify(heap)
+        while heap:
+            d, v = heappop(heap)
+            hv = hops[v]
+            if hv >= 0 and d >= hv:
+                continue
+            hops[v] = d
+            touched.append(v)
+            nd = d + 1
+            for y in indices[indptr[v] : indptr[v + 1]]:
+                if y == forbidden:
+                    continue
+                hy = hops[y]
+                if hy < 0 or nd < hy:
+                    heappush(heap, (nd, y))
+    return touched
+
+
+def repair_dijkstra_csr(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    lengths: Sequence[float],
+    dist: List[float],
+    source: int,
+    edits: Sequence[Tuple[int, Iterable[int], Iterable[int]]],
+    rev_rows: Sequence[Iterable[int]],
+    length_rows: Sequence[Sequence[float]],
+    forbidden: int = -1,
+) -> List[int]:
+    """Repair a weighted distance row in place after the arcs in ``edits`` changed.
+
+    The weighted counterpart of :func:`repair_hops_csr`: ``dist`` is a valid
+    :func:`dijkstra_csr` row for the old graph, ``lengths`` is aligned with
+    the new ``indices``, and ``length_rows[p][v]`` gives the (strategy-
+    independent) length of arc ``(p, v)`` for boundary in-edges and for the
+    reconstructed old out-rows of edited nodes.  Returns the node ids whose
+    entry may have changed.
+
+    Repaired values are bit-identical to a fresh run: every label is a
+    left-associated float sum along one path — the same form Dijkstra
+    produces — and the tight tests use exact float equality, so the affected
+    region found here covers exactly the entries whose float value could
+    differ.
+    """
+    inf = math.inf
+    edit_map = {}
+    tight_seeds = []
+    for mover, removed, added in edits:
+        if mover == forbidden:
+            continue
+        edit_map[mover] = (frozenset(removed), frozenset(added))
+        dm = dist[mover]
+        if dm == inf:
+            continue
+        mover_lengths = length_rows[mover]
+        for a in removed:
+            if a != source and a != forbidden and dist[a] == dm + mover_lengths[a]:
+                tight_seeds.append(a)
+    if not edit_map:
+        return []
+
+    touched: List[int] = []
+    heap: List[Tuple[float, int]] = []
+    if tight_seeds:
+        affected = _phase1_affected(
+            dist, tight_seeds, edit_map, indptr, indices,
+            lambda v, y: length_rows[v][y], source, forbidden,
+        )
+        for v in affected:
+            dist[v] = inf
+            touched.append(v)
+        for v in affected:
+            best = inf
+            for p in rev_rows[v]:
+                if p == forbidden or p in affected:
+                    continue
+                dp = dist[p]
+                if dp < inf:
+                    cand = dp + length_rows[p][v]
+                    if cand < best:
+                        best = cand
+            if best < inf:
+                heap.append((best, v))
+    else:
+        affected = set()
+
+    for mover, (removed, added) in edit_map.items():
+        dm = dist[mover]
+        if dm == inf:
+            continue
+        mover_lengths = length_rows[mover]
+        for a in added:
+            if a == forbidden or a in affected:
+                continue
+            cand = dm + mover_lengths[a]
+            if cand < dist[a]:
+                heap.append((cand, a))
+
+    if heap:
+        heapify(heap)
+        while heap:
+            d, v = heappop(heap)
+            if d >= dist[v]:
+                continue
+            dist[v] = d
+            touched.append(v)
+            for offset in range(indptr[v], indptr[v + 1]):
+                y = indices[offset]
+                if y == forbidden:
+                    continue
+                cand = d + lengths[offset]
+                if cand < dist[y]:
+                    heappush(heap, (cand, y))
+    return touched
 
 
 def scaled_float_row(hops: Sequence[int], unit: float) -> List[float]:

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.constructions import build_ring_with_path
-from repro.core import StrategyProfile, UniformBBCGame, is_pure_nash, random_profile
+from repro.core import (
+    StrategyProfile,
+    UniformBBCGame,
+    is_pure_nash,
+    random_profile,
+)
 from repro.dynamics import (
     FIGURE4_DEVIATION_SEQUENCE,
     FIGURE4_KNOWN_STRATEGIES,
@@ -70,6 +75,50 @@ def test_max_cost_first_scheduler_runs():
     assert result.rounds >= 1
     with pytest.raises(ValueError):
         run_best_response_walk(game, profile, scheduler="unknown")
+
+
+def test_stop_at_equilibrium_flag_governs_exit_not_the_report():
+    """With stop_at_equilibrium=False the walk runs on, but still reports truthfully."""
+    game = UniformBBCGame(5, 1)
+    profile = StrategyProfile({0: {1}, 1: {2}, 2: {3}, 3: {4}, 4: {3}})
+    for engine in (None, False):
+        stopped = run_best_response_walk(
+            game, profile, max_rounds=12, engine=engine
+        )
+        assert stopped.reached_equilibrium
+        assert stopped.rounds < 12  # early exit is the default
+        continued = run_best_response_walk(
+            game, profile, max_rounds=12, stop_at_equilibrium=False, engine=engine
+        )
+        # Truthful flag (the old code reported False here) ...
+        assert continued.reached_equilibrium
+        # ... and no early exit: every round probes every node.
+        assert continued.rounds == 12
+        assert continued.probes == 12 * game.num_nodes
+        # Spinning on the fixed point is not a cycle.
+        assert not continued.cycle_detected
+        assert continued.final_profile == stopped.final_profile
+
+
+def test_cycle_closing_exactly_at_max_rounds_is_detected():
+    """A configuration repeat landing on the last round must still be reported."""
+    game = UniformBBCGame(7, 2)
+    looping = None
+    for seed in range(60):
+        profile = random_profile(game, seed=seed)
+        result = run_best_response_walk(game, profile, max_rounds=60)
+        if result.cycle_detected:
+            looping = (profile, result)
+            break
+    assert looping is not None, "no cycling (7, 2) walk found"
+    profile, result = looping
+    boundary = result.cycle_start_round + result.cycle_length_rounds
+    clipped = run_best_response_walk(game, profile, max_rounds=boundary)
+    # The first repeat happens exactly when the round budget runs out; the
+    # old top-of-loop-only check missed it.
+    assert clipped.cycle_detected
+    assert clipped.cycle_start_round == result.cycle_start_round
+    assert clipped.cycle_length_rounds == result.cycle_length_rounds
 
 
 def test_figure4_cycle_exists_in_7_2_games():

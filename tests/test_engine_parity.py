@@ -37,6 +37,8 @@ from repro.graphs import (
     dijkstra_csr,
     dijkstra_distances,
     random_digraph,
+    repair_dijkstra_csr,
+    repair_hops_csr,
 )
 
 
@@ -135,6 +137,162 @@ def test_dijkstra_kernel_matches_dict_dijkstra(seed, n, masked):
             assert {
                 v: d for v, d in enumerate(flat_masked) if d < math.inf
             } == reference_masked
+
+
+# --------------------------------------------------------------------- #
+# Incremental repair kernels vs fresh traversals
+# --------------------------------------------------------------------- #
+def _random_adjacency(rng, n):
+    return [
+        sorted(rng.sample([v for v in range(n) if v != u], rng.randint(0, n - 1)))
+        for u in range(n)
+    ]
+
+
+def _csr_with_lengths(rows, length_rows):
+    indptr, indices = build_csr(rows)
+    lengths = []
+    for u, row in enumerate(rows):
+        lengths.extend(length_rows[u][v] for v in row)
+    return indptr, indices, lengths
+
+
+def _random_edit_sequence(rng, rows, steps):
+    """Apply ``steps`` single-node out-row rewrites; return new rows + net edits."""
+    n = len(rows)
+    new_rows = [list(row) for row in rows]
+    origin = {}
+    for _ in range(steps):
+        mover = rng.randrange(n)
+        origin.setdefault(mover, frozenset(new_rows[mover]))
+        others = [v for v in range(n) if v != mover]
+        new_rows[mover] = sorted(rng.sample(others, rng.randint(0, n - 1)))
+    edits = []
+    for mover, old in origin.items():
+        new = frozenset(new_rows[mover])
+        if old != new:
+            edits.append((mover, tuple(old - new), tuple(new - old)))
+    return new_rows, edits
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(3, 11), steps=st.integers(1, 4))
+def test_repair_kernels_match_fresh_traversals(seed, n, steps):
+    """Repaired rows are bit-identical to recomputing, masked or not."""
+    rng = random.Random(seed)
+    rows = _random_adjacency(rng, n)
+    length_rows = [[float(rng.randint(0, 4)) for _ in range(n)] for _ in range(n)]
+    indptr0, indices0, lengths0 = _csr_with_lengths(rows, length_rows)
+    new_rows, edits = _random_edit_sequence(rng, rows, steps)
+    indptr1, indices1, lengths1 = _csr_with_lengths(new_rows, length_rows)
+    rev = [set() for _ in range(n)]
+    for u, row in enumerate(new_rows):
+        for v in row:
+            rev[v].add(u)
+    for forbidden in (-1, rng.randrange(n)):
+        for source in range(n):
+            if source == forbidden:
+                continue
+            hops = bfs_hops_csr(indptr0, indices0, n, source, forbidden)
+            repair_hops_csr(indptr1, indices1, hops, source, edits, rev, forbidden)
+            assert hops == bfs_hops_csr(indptr1, indices1, n, source, forbidden)
+            dist = dijkstra_csr(indptr0, indices0, lengths0, n, source, forbidden)
+            repair_dijkstra_csr(
+                indptr1, indices1, lengths1, dist, source, edits,
+                rev, length_rows, forbidden,
+            )
+            assert dist == dijkstra_csr(indptr1, indices1, lengths1, n, source, forbidden)
+
+
+def _warm_all_env_rows(engine, game):
+    for node in game.nodes:
+        for hop in game.nodes:
+            if hop != node:
+                engine.env_row(engine.indexed.index[node], engine.indexed.index[hop])
+
+
+def _assert_rows_match_cold(engine, game, profile):
+    cold = CostEngine(game)
+    cold.sync(profile)
+    for node in range(engine.indexed.n):
+        for hop in range(engine.indexed.n):
+            if hop != node:
+                assert engine.env_row(node, hop) == cold.env_row(node, hop)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_incremental_repair_matches_recompute_across_edit_sequences(seed):
+    """Randomized single-node edit sequences: repaired masked rows stay exact.
+
+    Covers edge additions, removals, and swaps (random strategy rewrites of
+    varying size) on uniform and weighted games, with the repair threshold
+    raised so even long pending-edit spans go through the repair path.
+    """
+    rng = random.Random(seed)
+    for game in (UniformBBCGame(9, 2), random_weighted_game(seed, n=7)):
+        profile = random_profile(game, seed=seed)
+        engine = CostEngine(game)
+        engine._repair_edit_limit = 10**9  # force repair, never fall back
+        engine.sync(profile)
+        _warm_all_env_rows(engine, game)
+        nodes = list(game.nodes)
+        for _ in range(10):
+            node = rng.choice(nodes)
+            others = [v for v in nodes if v != node]
+            strategy = frozenset(rng.sample(others, rng.randint(0, 2)))
+            profile = profile.with_strategy(node, strategy)
+            engine.sync(profile)
+            if rng.random() < 0.5:
+                # Touch only sometimes, so pending spans cover several edits.
+                _assert_rows_match_cold(engine, game, profile)
+        _assert_rows_match_cold(engine, game, profile)
+        assert engine.stats["rows_repaired"] > 0
+
+
+def test_repaired_walk_trace_is_bit_identical():
+    """A long deviating walk produces the same trace however rows are kept."""
+    from repro.experiments.workloads import random_initial_profile
+
+    game = UniformBBCGame(10, 2)
+    initial = random_initial_profile(game, seed=4)
+
+    def run(engine):
+        return run_best_response_walk(
+            game, initial, max_rounds=25, record_steps=True, engine=engine
+        )
+
+    repair_engine = CostEngine(game)
+    repair_engine._repair_edit_limit = 10**9
+    repaired = run(repair_engine)
+    dropped = run(CostEngine(game, incremental=False))
+    reference = run(False)
+    assert repair_engine.stats["rows_repaired"] > 0
+    for other in (dropped, reference):
+        assert repaired.final_profile == other.final_profile
+        assert repaired.probes == other.probes
+        assert repaired.deviations == other.deviations
+        assert repaired.reached_equilibrium == other.reached_equilibrium
+        assert [s.node for s in repaired.steps] == [s.node for s in other.steps]
+        assert [s.new_cost for s in repaired.steps] == [s.new_cost for s in other.steps]
+        assert [s.old_cost for s in repaired.steps] == [s.old_cost for s in other.steps]
+
+
+def test_equilibrium_recheck_after_single_deviation_repairs_not_recomputes():
+    game = UniformBBCGame(16, 2)
+    profile = random_profile(game, seed=8)
+    engine = CostEngine(game)
+    equilibrium_report(game, profile, engine=engine)
+    computed_before = engine.stats["rows_computed"]
+    node = 3
+    others = [v for v in game.nodes if v != node]
+    deviated = profile.with_strategy(node, frozenset(others[:2]))
+    report = equilibrium_report(game, deviated, engine=engine)
+    # Every non-mover row is repaired in place; only the mover's own probes
+    # may need fresh rows for first hops never seen before.
+    assert engine.stats["rows_repaired"] > 0
+    assert engine.stats["rows_computed"] == computed_before
+    assert report.max_regret == equilibrium_report(game, deviated, engine=False).max_regret
 
 
 # --------------------------------------------------------------------- #
@@ -368,6 +526,21 @@ def test_shared_engine_is_per_game_and_reused():
     assert get_engine(game) is not get_engine(other)
 
 
+def _cached_row_total(engine):
+    return sum(
+        len(rows)
+        for cache in (
+            engine._env_cache,
+            engine._through_cache,
+            engine._sub_cache,
+            engine._hop_cache,
+        )
+        for _, rows in cache.values()
+    ) + sum(
+        engine._combo_units(vector) for _, _, vector in engine._combo_cache.values()
+    )
+
+
 def test_env_row_cache_is_bounded_and_eviction_preserves_correctness():
     game = UniformBBCGame(8, 2)
     profile = random_profile(game, seed=6)
@@ -380,13 +553,12 @@ def test_env_row_cache_is_bounded_and_eviction_preserves_correctness():
             best_response(game, profile, node, engine=reference),
             best_response(game, profile, node, engine=engine),
         )
-        # Cap + the exempt in-flight node's working set (env + through rows).
-        assert engine._env_rows_cached <= 10 + 2 * 7
+        # Cap + the exempt in-flight node's working set (env + hop + through
+        # + substituted rows).
+        assert engine._env_rows_cached <= 10 + 4 * 7
     assert engine.stats["rows_evicted"] > 0
     # Invariant: the counter matches the caches' actual contents.
-    assert engine._env_rows_cached == sum(
-        len(rows) for _, rows in engine._env_cache.values()
-    ) + sum(len(rows) for _, rows in engine._through_cache.values())
+    assert engine._env_rows_cached == _cached_row_total(engine)
 
 
 def test_float_labels_do_not_take_the_int_fast_path():
@@ -417,9 +589,7 @@ def test_eviction_of_live_scorer_dict_does_not_corrupt_the_counter():
             scorer_a.score_ints([target])
         if target != 1:
             scorer_b.score_ints([target])
-    assert engine._env_rows_cached == sum(
-        len(rows) for _, rows in engine._env_cache.values()
-    ) + sum(len(rows) for _, rows in engine._through_cache.values())
+    assert engine._env_rows_cached == _cached_row_total(engine)
 
 
 def test_explicit_engine_for_wrong_game_is_rejected():

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs import (
+    DiGraph,
     all_pairs_hop_distances,
     bfs_distances,
     bfs_distances_adjacency,
@@ -126,3 +127,21 @@ def test_diameter_and_eccentricity():
     assert eccentricity(cycle, 0) == 6
     assert diameter(cycle) == 6
     assert diameter(directed_path(4)) is None
+
+
+def test_weighted_diameter_honours_custom_length_attribute():
+    graph = DiGraph()
+    graph.add_nodes_from(range(3))
+    graph.add_edge(0, 1, miles=5)
+    graph.add_edge(1, 2, miles=7)
+    graph.add_edge(2, 0)  # no attribute: falls back to default_length
+    # Custom attribute plumbed through (the old code always read "length",
+    # silently weighting every edge at 1).
+    assert eccentricity(graph, 0, weighted=True, length_attr="miles") == 12
+    assert diameter(graph, weighted=True, length_attr="miles") == 12
+    assert (
+        diameter(graph, weighted=True, length_attr="miles", default_length=10) == 17
+    )
+    # The hop-count and default-attribute paths are unchanged.
+    assert diameter(graph) == 2
+    assert diameter(graph, weighted=True) == 2
