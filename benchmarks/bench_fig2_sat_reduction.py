@@ -4,7 +4,7 @@ from conftest import save_table
 
 from repro.analysis import format_table
 from repro.gadgets import build_sat_reduction, satisfiable_direction_report
-from repro.sat import CNFFormula, random_satisfiable_3sat, solve, tiny_unsatisfiable_formula
+from repro.sat import random_satisfiable_3sat, solve, tiny_unsatisfiable_formula
 
 
 def run_fig2():

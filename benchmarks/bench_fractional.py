@@ -11,7 +11,6 @@ from conftest import save_table
 
 from repro.analysis import format_table
 from repro.core import (
-    BBCGame,
     FractionalBBCGame,
     UniformBBCGame,
     epsilon_equilibrium_report,

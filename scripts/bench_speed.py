@@ -29,13 +29,29 @@ invalidation, per-element scoring loops).  The recheck row additionally
 isolates the repair win by timing ``incremental=False`` with vectorisation
 kept on.  Results merge under ``incremental_results``.
 
+``--backend`` runs the traversal-backend scenarios — equilibrium reports
+with per-node restricted candidate targets at n in {64, 256, 1024} on a
+uniform (BFS-backed) and an integer-weighted (Dijkstra-backed) game, plus
+whole-profile ``all_costs`` sweeps at the largest size — timing
+``CostEngine(game, backend="python")`` (list kernels) against
+``backend="numpy"`` (vectorised frontier kernels).  Results merge under
+``backend_results``; the Dijkstra-backed report at the largest size must
+clear a 3x floor.  Without numpy the mode records nothing and exits
+successfully, which is what the minimal-deps CI leg exercises.
+
+``--check-floors`` runs no benchmarks: it re-reads ``BENCH_speed.json`` and
+exits non-zero if any recorded (non-smoke) mode fell below its enforced
+floor — the reusable regression gate CI wires in.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_speed.py                      # core scenarios
     PYTHONPATH=src python scripts/bench_speed.py --sweep              # sweep scenarios
     PYTHONPATH=src python scripts/bench_speed.py --fractional         # fractional scenarios
     PYTHONPATH=src python scripts/bench_speed.py --incremental        # incremental-engine scenarios
-    PYTHONPATH=src python scripts/bench_speed.py --smoke [--sweep | --fractional | --incremental]
+    PYTHONPATH=src python scripts/bench_speed.py --backend            # traversal-backend scenarios
+    PYTHONPATH=src python scripts/bench_speed.py --smoke [--sweep | ...]
+    PYTHONPATH=src python scripts/bench_speed.py --check-floors       # regression gate only
 
 The reference path is skipped above ``--max-reference-n`` (default 32: at
 n = 64 the dict-based oracle takes minutes for no extra information — the
@@ -86,8 +102,18 @@ FRACTIONAL_SPEEDUP_FLOOR = 3.0
 #: The long-walk incremental scenario at the largest size must stay at least
 #: this much faster than the reconstructed PR 3 engine.
 INCREMENTAL_WALK_FLOOR = 2.0
+#: The core equilibrium_report scenario must stay at least this much faster
+#: than the dict-based oracle at every benchmarked n >= 32.
+CORE_REPORT_FLOOR = 3.0
+#: The Dijkstra-backed backend report at the largest benchmarked size must
+#: stay at least this much faster on the numpy kernels than the list kernels.
+BACKEND_DIJKSTRA_FLOOR = 3.0
 FRACTIONAL_MAX_ROUNDS = 12
 FRACTIONAL_TOLERANCE = 1e-5
+#: Candidate targets per node in the backend reports: restricting deviations
+#: keeps thousand-node equilibrium checks enumerable (C(6, 2) strategies per
+#: node) while every check still pays one masked SSSP per candidate per node.
+BACKEND_CANDIDATES_PER_NODE = 6
 
 
 def time_call(fn, repeats):
@@ -428,6 +454,258 @@ def bench_incremental_sweep(repeats, smoke):
     }
 
 
+def _backend_available():
+    """Whether the numpy traversal backend can be constructed at all."""
+    from repro.engine import resolve_backend
+
+    try:
+        resolve_backend("numpy", 1)
+    except ValueError:
+        return False
+    return True
+
+
+def _backend_candidates(game, per_node, seed):
+    """Deterministic per-node candidate-target restriction for big-n reports."""
+    import random as random_module
+
+    rng = random_module.Random(seed)
+    nodes = list(game.nodes)
+    return {
+        u: rng.sample([v for v in nodes if v != u], min(per_node, len(nodes) - 1))
+        for u in nodes
+    }
+
+
+def _backend_weighted_game(n, seed=5):
+    """An integer-weighted game (lengths 2..9 on 6 arcs per node, 1 elsewhere).
+
+    Non-uniform lengths route every row through the Dijkstra kernels, and the
+    integer values keep the numpy backend in exact int64 space — the
+    configuration the backend floor certifies.
+    """
+    import random as random_module
+
+    from repro.core import BBCGame
+
+    rng = random_module.Random(seed)
+    lengths = {}
+    for u in range(n):
+        for v in rng.sample([x for x in range(n) if x != u], min(6, n - 1)):
+            lengths[(u, v)] = float(rng.randint(2, 9))
+    return BBCGame(nodes=range(n), link_lengths=lengths, default_budget=2.0)
+
+
+def _timed_backend_report(game, profile, candidates, backend, repeats):
+    """Best time of an equilibrium report on a cold engine of ``backend``.
+
+    The engine (snapshot build, numpy CSR views) is constructed outside the
+    timed region so the row records kernel time, not IndexedGame
+    construction, which both backends share.
+    """
+    best = None
+    report = None
+    for _ in range(repeats):
+        engine = CostEngine(game, backend=backend)
+        start = time.perf_counter()
+        report = equilibrium_report(game, profile, candidates=candidates, engine=engine)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, report
+
+
+def bench_backend_report(game, kernel, n, repeats):
+    """Python-vs-numpy kernels on one restricted-candidate equilibrium report."""
+    profile = random_initial_profile(game, seed=PROFILE_SEED)
+    candidates = _backend_candidates(game, BACKEND_CANDIDATES_PER_NODE, seed=11)
+    numpy_time, numpy_report = _timed_backend_report(
+        game, profile, candidates, "numpy", repeats
+    )
+    python_time, python_report = _timed_backend_report(
+        game, profile, candidates, "python", repeats
+    )
+    assert numpy_report.responses == python_report.responses
+    return {
+        "task": f"backend_{kernel}_report",
+        "kernel": kernel,
+        "n": n,
+        "k": K,
+        "candidates_per_node": BACKEND_CANDIDATES_PER_NODE,
+        "max_regret": numpy_report.max_regret,
+        "engine_seconds": numpy_time,
+        "reference_seconds": python_time,
+        "speedup": python_time / numpy_time,
+    }
+
+
+def bench_backend_all_costs(game, kernel, n, repeats):
+    """Python-vs-numpy kernels on a whole-profile ``all_costs`` sweep."""
+    profile = random_initial_profile(game, seed=PROFILE_SEED)
+
+    def timed(backend):
+        best = None
+        costs = None
+        for _ in range(repeats):
+            engine = CostEngine(game, backend=backend)
+            start = time.perf_counter()
+            costs = engine.all_costs(profile)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, costs
+
+    numpy_time, numpy_costs = timed("numpy")
+    python_time, python_costs = timed("python")
+    assert numpy_costs == python_costs
+    return {
+        "task": f"backend_{kernel}_all_costs",
+        "kernel": kernel,
+        "n": n,
+        "k": K,
+        "engine_seconds": numpy_time,
+        "reference_seconds": python_time,
+        "speedup": python_time / numpy_time,
+    }
+
+
+def run_backend_scenarios(args, repeats):
+    sizes = [32, 64] if args.smoke else [64, 256, 1024]
+    rows = []
+    for n in sizes:
+        print(f"benchmarking backend report n={n} (BFS kernels) ...")
+        rows.append(bench_backend_report(UniformBBCGame(n, K), "bfs", n, repeats))
+        print(f"benchmarking backend report n={n} (Dijkstra kernels) ...")
+        rows.append(
+            bench_backend_report(_backend_weighted_game(n), "dijkstra", n, repeats)
+        )
+    largest = sizes[-1]
+    print(f"benchmarking backend all_costs n={largest} ...")
+    rows.append(
+        bench_backend_all_costs(UniformBBCGame(largest, K), "bfs", largest, repeats)
+    )
+    rows.append(
+        bench_backend_all_costs(
+            _backend_weighted_game(largest), "dijkstra", largest, repeats
+        )
+    )
+    return sizes, rows
+
+
+# --------------------------------------------------------------------- #
+# Floor checks (shared by post-run gating and --check-floors)
+# --------------------------------------------------------------------- #
+def _core_floor_violations(rows):
+    return [
+        f"core: equilibrium_report speedup {row['speedup']:.2f}x at n={row['n']} "
+        f"is below {CORE_REPORT_FLOOR:g}x"
+        for row in rows
+        if row["task"] == "equilibrium_report"
+        and "speedup" in row
+        and row["n"] >= 32
+        and row["speedup"] < CORE_REPORT_FLOOR
+    ]
+
+
+def _sweep_floor_violations(rows):
+    return [
+        f"sweep: exhaustive_search speedup {row['speedup']:.2f}x is below "
+        f"{SWEEP_SPEEDUP_FLOOR:g}x"
+        for row in rows
+        if row["task"] == "exhaustive_search" and row["speedup"] < SWEEP_SPEEDUP_FLOOR
+    ]
+
+
+def _largest_row(rows, task):
+    matching = [row for row in rows if row["task"] == task]
+    return max(matching, key=lambda row: row["n"]) if matching else None
+
+
+def _fractional_floor_violations(rows):
+    largest = _largest_row(rows, "fractional_dynamics")
+    if largest is not None and largest["speedup"] < FRACTIONAL_SPEEDUP_FLOOR:
+        return [
+            f"fractional: fractional_dynamics speedup {largest['speedup']:.2f}x at "
+            f"n={largest['n']} is below {FRACTIONAL_SPEEDUP_FLOOR:g}x"
+        ]
+    return []
+
+
+def _incremental_floor_violations(rows):
+    largest = _largest_row(rows, "incremental_walk")
+    if largest is not None and largest["speedup"] < INCREMENTAL_WALK_FLOOR:
+        return [
+            f"incremental: incremental_walk speedup {largest['speedup']:.2f}x at "
+            f"n={largest['n']} is below {INCREMENTAL_WALK_FLOOR:g}x"
+        ]
+    return []
+
+
+def _backend_floor_violations(rows):
+    largest = _largest_row(rows, "backend_dijkstra_report")
+    if largest is not None and largest["speedup"] < BACKEND_DIJKSTRA_FLOOR:
+        return [
+            f"backend: backend_dijkstra_report speedup {largest['speedup']:.2f}x at "
+            f"n={largest['n']} is below {BACKEND_DIJKSTRA_FLOOR:g}x"
+        ]
+    return []
+
+
+#: mode -> (results key, meta key, checker).  Smoke-recorded rows are skipped:
+#: smoke sizes are deliberately tiny and their ratios are noise, exactly as
+#: the per-mode post-run gates always treated them.
+FLOOR_CHECKS = {
+    "core": ("results", "core_meta", _core_floor_violations),
+    "sweep": ("sweep_results", "sweep_meta", _sweep_floor_violations),
+    "fractional": ("fractional_results", "fractional_meta", _fractional_floor_violations),
+    "incremental": (
+        "incremental_results",
+        "incremental_meta",
+        _incremental_floor_violations,
+    ),
+    "backend": ("backend_results", "backend_meta", _backend_floor_violations),
+}
+
+
+def floor_violations(payload, only_mode=None):
+    """Return every floor violation recorded in ``payload`` (non-smoke rows)."""
+    violations = []
+    for mode, (results_key, meta_key, checker) in FLOOR_CHECKS.items():
+        if only_mode is not None and mode != only_mode:
+            continue
+        rows = payload.get(results_key)
+        if not rows:
+            continue
+        if payload.get(meta_key, {}).get("smoke"):
+            continue
+        violations.extend(checker(rows))
+    return violations
+
+
+def check_floors(json_path):
+    """The ``--check-floors`` entry point: validate the recorded trajectory."""
+    if not json_path.exists():
+        print(f"no {json_path} to check; run the benchmarks first", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(json_path.read_text())
+    except ValueError:
+        print(f"{json_path} is not valid JSON", file=sys.stderr)
+        return 1
+    violations = floor_violations(payload)
+    checked = [
+        mode
+        for mode, (results_key, meta_key, _) in FLOOR_CHECKS.items()
+        if payload.get(results_key) and not payload.get(meta_key, {}).get("smoke")
+    ]
+    if violations:
+        for violation in violations:
+            print(f"FLOOR VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print(f"floors ok for recorded modes: {', '.join(checked) if checked else '(none)'}")
+    return 0
+
+
 def render_table(rows):
     lines = [
         f"{'task':<24} {'n':>4} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
@@ -523,6 +801,19 @@ def main():
         "single-deviation equilibrium rechecks, restricted exhaustive sweep) "
         "against a reconstruction of the PR 3 engine",
     )
+    parser.add_argument(
+        "--backend",
+        action="store_true",
+        help="run the traversal-backend scenarios (restricted-candidate "
+        "equilibrium reports and all_costs sweeps, numpy frontier kernels vs "
+        "the list kernels) instead of the core scenarios",
+    )
+    parser.add_argument(
+        "--check-floors",
+        action="store_true",
+        help="run no benchmarks; exit non-zero if any recorded (non-smoke) "
+        "mode in BENCH_speed.json is below its enforced speedup floor",
+    )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
     parser.add_argument(
         "--max-reference-n",
@@ -532,11 +823,18 @@ def main():
     )
     args = parser.parse_args()
 
+    json_path = OUTPUT_DIR / "BENCH_speed.json"
+    if args.check_floors:
+        if args.sweep or args.fractional or args.incremental or args.backend or args.smoke:
+            parser.error("--check-floors runs no benchmarks; pass it alone")
+        return check_floors(json_path)
+
     if args.repeats is not None:
         repeats = args.repeats
-    elif args.smoke or args.incremental:
-        # The incremental walks time a deliberately slow PR 3 baseline; one
-        # repeat keeps the whole mode under a couple of minutes.
+    elif args.smoke or args.incremental or args.backend:
+        # The incremental walks and the backend reports time deliberately
+        # slow baselines; one repeat keeps each mode under a couple of
+        # minutes.
         repeats = 1
     else:
         repeats = 3
@@ -544,7 +842,6 @@ def main():
         parser.error(f"--repeats must be at least 1 (got {repeats})")
 
     OUTPUT_DIR.mkdir(exist_ok=True)
-    json_path = OUTPUT_DIR / "BENCH_speed.json"
     # Each mode owns its own key in the payload and appends around the other
     # mode's last results, so `--sweep` runs extend the trajectory instead of
     # erasing the core scenarios (and vice versa).
@@ -563,13 +860,27 @@ def main():
         "python": platform.python_version(),
     }
 
-    if sum(map(bool, (args.sweep, args.fractional, args.incremental))) > 1:
-        parser.error("--sweep, --fractional, and --incremental are mutually exclusive")
+    if sum(map(bool, (args.sweep, args.fractional, args.incremental, args.backend))) > 1:
+        parser.error(
+            "--sweep, --fractional, --incremental, and --backend are mutually exclusive"
+        )
+
+    if args.backend and not _backend_available():
+        # The minimal-deps CI leg lands here: the selector refuses "numpy",
+        # every auto resolution degrades to the list kernels, and there is
+        # nothing to compare — which is itself the behaviour under test.
+        print("numpy is not installed; backend scenarios skipped")
+        return 0
 
     if args.sweep:
         rows = run_sweep_scenarios(args, repeats)
         payload["sweep_results"] = rows
         payload["sweep_meta"] = meta
+    elif args.backend:
+        sizes, rows = run_backend_scenarios(args, repeats)
+        payload["backend_sizes"] = sizes
+        payload["backend_results"] = rows
+        payload["backend_meta"] = meta
     elif args.incremental:
         sizes, rows = run_incremental_scenarios(args, repeats)
         payload["incremental_sizes"] = sizes
@@ -592,67 +903,29 @@ def main():
     json_path.write_text(json.dumps(payload, indent=2) + "\n")
     table = render_table(rows)
     if args.sweep:
-        table_name = "BENCH_speed_sweep.txt"
+        mode, table_name = "sweep", "BENCH_speed_sweep.txt"
     elif args.incremental:
-        table_name = "BENCH_speed_incremental.txt"
+        mode, table_name = "incremental", "BENCH_speed_incremental.txt"
     elif args.fractional:
-        table_name = "BENCH_speed_fractional.txt"
+        mode, table_name = "fractional", "BENCH_speed_fractional.txt"
+    elif args.backend:
+        mode, table_name = "backend", "BENCH_speed_backend.txt"
     else:
-        table_name = "BENCH_speed.txt"
+        mode, table_name = "core", "BENCH_speed.txt"
     table_path = OUTPUT_DIR / table_name
     table_path.write_text(table + "\n")
     print("\n" + table)
     print(f"\nwrote {json_path}")
 
-    if args.incremental:
-        if args.smoke:
-            # Smoke sizes are too tiny for a stable floor, as in the other modes.
-            return 0
-        walk_rows = [row for row in rows if row["task"] == "incremental_walk"]
-        largest = max(walk_rows, key=lambda row: row["n"])
-        if largest["speedup"] < INCREMENTAL_WALK_FLOOR:
-            print(
-                f"WARNING: incremental_walk speedup at n={largest['n']} fell "
-                f"below {INCREMENTAL_WALK_FLOOR:g}x",
-                file=sys.stderr,
-            )
-            return 1
+    if args.smoke:
+        # Smoke sizes are deliberately tiny and their ratios are noise; the
+        # floors only gate real recordings (and --check-floors skips
+        # smoke-recorded modes for the same reason).
         return 0
-    if args.fractional:
-        if args.smoke:
-            # Smoke sizes are too tiny for a stable floor, as in the other modes.
-            return 0
-        dynamics_rows = [row for row in rows if row["task"] == "fractional_dynamics"]
-        largest = max(dynamics_rows, key=lambda row: row["n"])
-        if largest["speedup"] < FRACTIONAL_SPEEDUP_FLOOR:
-            print(
-                f"WARNING: fractional_dynamics speedup at n={largest['n']} fell "
-                f"below {FRACTIONAL_SPEEDUP_FLOOR:g}x",
-                file=sys.stderr,
-            )
-            return 1
-        return 0
-    if args.sweep:
-        if args.smoke:
-            # Like the core gate (which only applies at n >= 32, beyond smoke
-            # sizes): the tiny smoke grid is too noisy for a hard floor.
-            return 0
-        search_rows = [row for row in rows if row["task"] == "exhaustive_search"]
-        if any(row["speedup"] < SWEEP_SPEEDUP_FLOOR for row in search_rows):
-            print(
-                f"WARNING: exhaustive_search sweep speedup fell below "
-                f"{SWEEP_SPEEDUP_FLOOR:g}x",
-                file=sys.stderr,
-            )
-            return 1
-        return 0
-    checked = [
-        row for row in rows if row["task"] == "equilibrium_report" and "speedup" in row
-    ]
-    if any(row["n"] >= 32 and row["speedup"] < 3.0 for row in checked):
-        print("WARNING: equilibrium_report speedup at n>=32 fell below 3x", file=sys.stderr)
-        return 1
-    return 0
+    violations = floor_violations(payload, only_mode=mode)
+    for violation in violations:
+        print(f"WARNING: {violation}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":

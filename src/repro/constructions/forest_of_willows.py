@@ -21,7 +21,6 @@ paper separates the price of stability from the price of anarchy.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 

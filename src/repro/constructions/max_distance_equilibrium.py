@@ -22,7 +22,7 @@ The construction below follows the proof's description:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..core import Objective, StrategyProfile, UniformBBCGame
 from ..core.errors import InvalidGameDefinition

@@ -211,6 +211,21 @@ def _resolve_scorer(
         return DeviationOracle(game, profile, node, candidates).cost_of, None
     engine.sync(profile)
     scorer = engine.scorer(node)
+    if engine.backend == "numpy":
+        # Every row this probe can touch — the candidate first hops plus the
+        # current strategy's — in one batched traversal up front, instead of
+        # trickling out of the scorer one (slow single-source) kernel call
+        # at a time.  Unknown labels are skipped; scoring surfaces them with
+        # the same errors as before.
+        hops = candidates if candidates is not None else game.nodes
+        if scorer.identity_labels:
+            wanted = [a for a in hops if a != node]
+            wanted.extend(a for a in profile.strategy(node) if a != node)
+        else:
+            index = scorer.index
+            wanted = [index[a] for a in hops if a != node and a in index]
+            wanted.extend(index[a] for a in profile.strategy(node) if a != node)
+        engine.prefetch_env_rows(scorer.u, wanted)
     # With dense int labels `score` would just forward to `score_ints`; bind
     # the inner method directly and skip a call layer per candidate strategy.
     return (scorer.score_ints if scorer.identity_labels else scorer.score), scorer

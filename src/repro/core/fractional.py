@@ -40,13 +40,17 @@ Only the sum objective is supported, matching the paper's fractional model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
-import numpy as np
-from scipy.optimize import linprog
+try:  # The LP machinery is optional: cost evaluation (FlowNetwork) is not.
+    import numpy as np
+    from scipy.optimize import linprog
+except ImportError:  # pragma: no cover - exercised on the minimal CI leg
+    np = None
+    linprog = None
 
 from ..graphs import FlowNetwork
-from .errors import BBCError, InvalidStrategy
+from .errors import BBCError, BestResponseUnavailable, InvalidStrategy
 from .game import BBCGame
 from .objectives import Objective
 
@@ -307,6 +311,11 @@ def fractional_best_response(
     resolved = resolve_fractional_engine(game, engine)
     if resolved is not None:
         return resolved.best_response(profile, node)
+    if linprog is None:
+        raise BestResponseUnavailable(
+            "fractional best responses solve an LP and require numpy and "
+            "scipy; install them (cost evaluation works without)"
+        )
     base = game.base
     current_cost = game.node_cost(profile, node, engine=False)
 

@@ -21,7 +21,6 @@ import math
 from typing import (
     Callable,
     Dict,
-    FrozenSet,
     Hashable,
     Iterable,
     Iterator,

@@ -18,10 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence
 
 from .game import BBCGame, UniformBBCGame
-from .objectives import Objective
 from .profile import StrategyProfile
 
 Node = Hashable

@@ -59,6 +59,34 @@ and trust the stamp.  Anything holding a pre-``sync`` artefact — e.g. a
 :class:`~repro.engine.cost_engine.StrategyScorer` — checks the stamp and
 refuses to run stale.
 
+**The traversal backend.**  The SSSP kernels behind every row come in two
+interchangeable implementations: the list kernels of
+:mod:`repro.graphs.int_kernels` (the reference — plain deques and binary
+heaps over list CSR) and the array kernels of
+:mod:`repro.graphs.int_kernels_np` (level-synchronous frontier BFS,
+frontier-relaxation Dijkstra, and vectorised repair sweeps over int64 numpy
+CSR views of the same snapshot).  ``CostEngine(game, backend=...)`` selects
+between them with the usual tri-state idiom: ``None``/``"auto"`` picks numpy
+when it is importable and the game has at least
+:data:`~repro.engine.cost_engine.NUMPY_BACKEND_MIN_N` nodes, ``"python"`` or
+``"numpy"`` pin a side (:class:`SweepEvaluator` forwards a ``backend=``
+kwarg the same way; uniform-length games cross over at
+:data:`~repro.engine.cost_engine.NUMPY_BACKEND_MIN_N_UNIFORM` because the
+deque BFS is leaner than the heap Dijkstra).  Hop counts and integer-valued
+lengths traverse in exact int space; non-integer lengths traverse in IEEE
+float64, whose frontier relaxation converges to the heap Dijkstra's labels
+bit for bit.  Batched entry points (the probe prefetch in
+:func:`repro.core.best_response._resolve_scorer` and `score_combinations`,
+plus ``all_costs``) pull every row a probe can touch out of one multi-source
+traversal.  The numpy backend stores cached rows as float64/int64 arrays
+(the python backend keeps lists), but derived results — through rows, costs,
+regrets — stay plain Python floats, so every scorer fast path, cache
+contract, and result type above the kernels is shared;
+``tests/test_backend_parity.py`` pins kernel-level and end-to-end parity
+and ``scripts/bench_speed.py --backend`` records the python-vs-numpy
+trajectory at n in {64, 256, 1024} (>=3x on Dijkstra-backed equilibrium
+checks at n=1024, floor enforced).
+
 **The vectorised scoring spec.**  When numpy is importable (optional — every
 path degrades to the original loops without it), scoring of SUM-objective
 unit-weight nodes whose disconnection penalty dominates every finite
@@ -117,7 +145,12 @@ asserts bit-identical costs and regrets between the two, and
 
 from weakref import WeakKeyDictionary
 
-from .cost_engine import CostEngine, StrategyScorer
+from .cost_engine import (
+    NUMPY_BACKEND_MIN_N,
+    CostEngine,
+    StrategyScorer,
+    resolve_backend,
+)
 from .fractional_engine import (
     FractionalEngine,
     get_fractional_engine,
@@ -163,6 +196,7 @@ def resolve_engine(game, engine) -> "CostEngine | None":
 
 __all__ = [
     "CostEngine",
+    "NUMPY_BACKEND_MIN_N",
     "StrategyScorer",
     "FractionalEngine",
     "IndexedGame",
@@ -170,6 +204,7 @@ __all__ = [
     "gray_code_profiles",
     "get_engine",
     "get_fractional_engine",
+    "resolve_backend",
     "resolve_engine",
     "resolve_fractional_engine",
 ]

@@ -45,8 +45,13 @@ from .indexed import IndexedGame
 
 try:  # Optional vectorised backend; every path below degrades gracefully.
     import numpy as _np
-except ImportError:  # pragma: no cover - the CI image ships numpy
+except ImportError:  # pragma: no cover - exercised on the minimal CI leg
     _np = None
+
+if _np is not None:
+    from ..graphs import int_kernels_np as _npk
+else:  # pragma: no cover - exercised on the minimal CI leg
+    _npk = None
 
 Node = Hashable
 Row = List[float]
@@ -56,6 +61,47 @@ Row = List[float]
 #: and recomputed instead (repairing across that many edits would approach a
 #: fresh traversal anyway).
 REPAIR_LOG_LIMIT = 128
+
+#: Auto backend selection thresholds: below these node counts the list
+#: kernels' lower fixed overhead beats the vectorised traversals (each numpy
+#: frontier round costs a handful of array dispatches regardless of size);
+#: above them the per-edge Python bytecode dominates and the array sweeps
+#: win, growing past 3x/5x at n=1024 (``scripts/bench_speed.py --backend``).
+#: Uniform-length games cross over later because the deque BFS is leaner
+#: than the binary-heap Dijkstra the weighted games are up against.
+NUMPY_BACKEND_MIN_N = 128
+NUMPY_BACKEND_MIN_N_UNIFORM = 256
+
+
+def resolve_backend(backend, n: int, uniform_lengths: bool = False) -> str:
+    """Resolve the tri-state traversal ``backend`` selector to a concrete name.
+
+    ``None`` / ``"auto"`` picks ``"numpy"`` when numpy is importable and the
+    game has at least :data:`NUMPY_BACKEND_MIN_N` nodes
+    (:data:`NUMPY_BACKEND_MIN_N_UNIFORM` for uniform-length games), else
+    ``"python"``; ``"python"`` pins the list kernels (the reference);
+    ``"numpy"`` insists on the array kernels and raises when numpy is
+    unavailable.  Both backends produce bit-identical rows, costs, and
+    traces — the selector only trades constant factors
+    (``tests/test_backend_parity.py`` pins the parity).
+    """
+    if backend is None or backend == "auto":
+        threshold = NUMPY_BACKEND_MIN_N_UNIFORM if uniform_lengths else NUMPY_BACKEND_MIN_N
+        if _np is not None and n >= threshold:
+            return "numpy"
+        return "python"
+    if backend == "python":
+        return "python"
+    if backend == "numpy":
+        if _np is None:
+            raise ValueError(
+                "backend='numpy' requires numpy, which is not installed; "
+                "install numpy or pass backend='python'"
+            )
+        return "numpy"
+    raise ValueError(
+        f"unknown traversal backend {backend!r}: expected 'auto', 'numpy', or 'python'"
+    )
 
 #: Cached ``numpy.triu_indices`` pairs keyed by candidate count — shared by
 #: every engine because they only depend on the count.
@@ -103,10 +149,25 @@ class CostEngine:
     ``CostEngine(game, incremental=False, vectorized=False)`` therefore
     reconstructs the PR 3 engine, which is the baseline of
     ``scripts/bench_speed.py --incremental``.
+
+    ``backend`` selects the traversal kernels (independently of the scoring
+    ``vectorized`` flag): ``"python"`` pins the list kernels of
+    :mod:`repro.graphs.int_kernels`, ``"numpy"`` the array kernels of
+    :mod:`repro.graphs.int_kernels_np`, and ``None`` / ``"auto"`` (the
+    default) picks numpy when it is importable and the game is at or above
+    the size crossover (:data:`NUMPY_BACKEND_MIN_N`, or
+    :data:`NUMPY_BACKEND_MIN_N_UNIFORM` for uniform-length games).  On the
+    numpy backend cached rows are float64/int64 arrays instead of lists;
+    every cost, regret, and trace stays bit-identical across backends, and
+    results keep plain Python float types.
     """
 
     def __init__(
-        self, game, incremental: bool = True, vectorized: bool = True
+        self,
+        game,
+        incremental: bool = True,
+        vectorized: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         # Only a weak back-reference to `game`: a strong one would pin the
         # WeakKeyDictionary entry in the per-game engine registry forever.
@@ -114,6 +175,19 @@ class CostEngine:
         self.indexed = IndexedGame(game)
         self.incremental = bool(incremental)
         self.vectorized = bool(vectorized)
+        self.backend = resolve_backend(
+            backend, self.indexed.n, self.indexed.uniform_lengths
+        )
+        # The numpy traversal state: int64 views of the current CSR (plus
+        # aligned edge lengths — exact int64 when the licence holds, float64
+        # otherwise — and the reverse CSR the repair kernels seed from),
+        # rebuilt/reset by _rebuild_csr and _rev_csr per profile version.
+        self._np_traversal = self.backend == "numpy"
+        self._indptr_np = None
+        self._indices_np = None
+        self._edge_lengths_np = None
+        self._edge_lengths_exact_np = None
+        self._rev_csr_np = None
         # Repair beats recompute only while the pending edits reach a small
         # part of the graph: past this many distinct net movers the affected
         # region approaches the whole row and a fresh traversal is cheaper,
@@ -126,6 +200,9 @@ class CostEngine:
         self._repair_edit_limit = n // 8 if n >= 16 else 0
         #: Bumped on every observed profile change; all caches key on it.
         self.version = 0
+        # The exact profile object of the last successful sync (profiles are
+        # immutable repo-wide), for the identity no-op fast path.
+        self._synced_profile: Optional[StrategyProfile] = None
         self._strategies: Optional[List[frozenset]] = None
         # The same strategies in label space (what profiles carry), kept so
         # sync can diff by frozenset equality and only re-map the nodes that
@@ -230,6 +307,13 @@ class CostEngine:
         have been synced elsewhere in between.)
         """
         indexed = self.indexed
+        # Identity fast path: profiles are immutable throughout the repo, so
+        # re-syncing the very object the snapshot came from cannot change
+        # anything — and it is the overwhelmingly common case (equilibrium
+        # checks sync the same profile once per node).
+        if profile is self._synced_profile:
+            self.stats["noop_syncs"] += 1
+            return ()
         if len(profile) != indexed.n:
             raise InvalidProfile("profile nodes do not match the game's node set")
         index = indexed.index
@@ -239,10 +323,17 @@ class CostEngine:
         if old_raw is not None:
             # Diff in label space: distinct labels map to distinct ints, so
             # frozenset equality agrees with the int view and only the
-            # changed nodes need the label->int remap below.
+            # changed nodes need the label->int remap below.  The C-level
+            # list comparison decides the (very common) no-op case without a
+            # Python-loop diff — equilibrium checks sync once per node.
+            if raw == old_raw:
+                self.stats["noop_syncs"] += 1
+                self._synced_profile = profile
+                return ()
             changed = [u for u in range(indexed.n) if raw[u] != old_raw[u]]
             if not changed:
                 self.stats["noop_syncs"] += 1
+                self._synced_profile = profile
                 return ()
         else:
             changed = None
@@ -322,6 +413,7 @@ class CostEngine:
             self.stats["full_syncs"] += 1
             self._clear_row_caches()
             self._edits.clear()
+        self._synced_profile = profile
         return tuple(changed) if changed is not None else None
 
     def _clear_row_caches(self) -> None:
@@ -355,6 +447,38 @@ class CostEngine:
                 length_row = indexed.length_rows[u]
                 lengths.extend(length_row[v] for v in row)
             self._edge_lengths = lengths
+        if self._np_traversal:
+            self._indptr_np, self._indices_np = _npk.csr_arrays(
+                self._indptr, self._indices
+            )
+            if indexed.uniform_lengths:
+                self._edge_lengths_np = None
+                self._edge_lengths_exact_np = None
+            else:
+                self._edge_lengths_np = _np.asarray(
+                    self._edge_lengths, dtype=_np.float64
+                )
+                # Integer-valued lengths run the fresh traversals in exact
+                # int64 space; repairs patch the float rows directly (their
+                # entries are those same integers in float form).
+                self._edge_lengths_exact_np = (
+                    self._edge_lengths_np.astype(_np.int64)
+                    if indexed.integral_lengths
+                    else None
+                )
+            self._rev_csr_np = None
+
+    def _rev_csr(self):
+        """Return the current snapshot's reverse CSR (numpy backend, lazy).
+
+        Built at most once per profile version and shared by every row repair
+        at that version; ``_rebuild_csr`` resets it on each sync.
+        """
+        if self._rev_csr_np is None:
+            self._rev_csr_np = _npk.reverse_csr(
+                self._indptr_np, self._indices_np, self.indexed.n
+            )
+        return self._rev_csr_np
 
     def _require_sync(self) -> None:
         if self._strategies is None:
@@ -506,6 +630,10 @@ class CostEngine:
             penalty = indexed.penalty
             length_row_u = indexed.length_rows[u]
             inf = math.inf
+            use_np = self._np_traversal
+            if use_np:
+                rev_indptr, rev_tails = self._rev_csr()
+                length_matrix = None if uniform else indexed.length_matrix()
             positions: Optional[Dict[int, int]] = None
             for first_hop, row in env_rows.items():
                 hop_row = hop_rows.get(first_hop) if hop_rows is not None else None
@@ -516,12 +644,24 @@ class CostEngine:
                     if hop_rows is not None:
                         hop_rows[first_hop] = hop_row
                 elif uniform:
-                    touched = repair_hops_csr(
-                        indptr, indices, hop_row, first_hop, edits, rev, u
-                    )
+                    if use_np:
+                        touched = _npk.repair_hops_csr_np(
+                            self._indptr_np, self._indices_np, hop_row,
+                            first_hop, edits, rev_indptr, rev_tails, u,
+                        )
+                    else:
+                        touched = repair_hops_csr(
+                            indptr, indices, hop_row, first_hop, edits, rev, u
+                        )
                     for t in touched:
                         h = hop_row[t]
                         row[t] = float(h) * unit if h >= 0 else inf
+                elif use_np:
+                    touched = _npk.repair_dijkstra_csr_np(
+                        self._indptr_np, self._indices_np, self._edge_lengths_np,
+                        row, first_hop, edits, rev_indptr, rev_tails,
+                        length_matrix, u,
+                    )
                 else:
                     touched = repair_dijkstra_csr(
                         indptr,
@@ -539,14 +679,19 @@ class CostEngine:
                     continue
                 rows_changed = True
                 changed_hops.append(first_hop)
+                hop_length = length_row_u[first_hop]
                 through_row = (
                     through_rows.get(first_hop) if through_rows is not None else None
                 )
-                if through_row is None:
-                    continue
-                hop_length = length_row_u[first_hop]
-                for t in touched:
-                    through_row[t] = hop_length + row[t]
+                if through_row is not None:
+                    # float() keeps list-backed through rows plain Python
+                    # floats when `row` is a numpy-backend float64 array
+                    # (same bits, different box).
+                    for t in touched:
+                        through_row[t] = float(hop_length + row[t])
+                # Substituted slices are patched straight from the repaired
+                # env row (the numpy sub fast path never materialises a
+                # through row, so a sub row may exist without one).
                 sub_row = sub_rows.get(first_hop) if sub_rows is not None else None
                 if sub_row is not None:
                     if positions is None:
@@ -554,7 +699,7 @@ class CostEngine:
                     for t in touched:
                         i = positions.get(t)
                         if i is not None:
-                            d = through_row[t]
+                            d = float(hop_length + row[t])
                             sub_row[i] = d if d < inf else penalty
 
         for cache in self._row_caches():
@@ -636,10 +781,17 @@ class CostEngine:
     def _compute_row(self, source: int, forbidden: int) -> Row:
         indexed = self.indexed
         if indexed.uniform_lengths:
+            if self._np_traversal:
+                hops_np = _npk.bfs_hops_csr_np(
+                    self._indptr_np, self._indices_np, indexed.n, source, forbidden
+                )
+                return _npk.scaled_float_rows(hops_np, indexed.unit_length)
             hops = bfs_hops_csr(
                 self._indptr, self._indices, indexed.n, source, forbidden
             )
             return scaled_float_row(hops, indexed.unit_length)
+        if self._np_traversal:
+            return self._dijkstra_row_np(source, forbidden)
         return dijkstra_csr(
             self._indptr,
             self._indices,
@@ -647,6 +799,26 @@ class CostEngine:
             indexed.n,
             source,
             forbidden,
+        )
+
+    def _dijkstra_row_np(self, source: int, forbidden: int):
+        """One weighted row via the frontier kernel, as a float64 array.
+
+        Integer-valued lengths traverse in exact int64 space and convert once
+        at the end (``float(int)`` is exact under the
+        :attr:`IndexedGame.integral_lengths` gate); other lengths traverse in
+        float64, which reproduces the heap kernel's labels bit for bit.
+        """
+        exact = self._edge_lengths_exact_np
+        if exact is not None:
+            dist = _npk.dijkstra_csr_np(
+                self._indptr_np, self._indices_np, exact,
+                self.indexed.n, source, forbidden,
+            )
+            return _npk.int_to_float_rows(dist)
+        return _npk.dijkstra_csr_np(
+            self._indptr_np, self._indices_np, self._edge_lengths_np,
+            self.indexed.n, source, forbidden,
         )
 
     def env_row(self, u: int, first_hop: int) -> Row:
@@ -677,21 +849,30 @@ class CostEngine:
                     self._hop_cache[u] = (self.version, hop_rows)
                 else:
                     hop_rows = hop_entry[1]
-                hop_row = bfs_hops_csr(
-                    self._indptr, self._indices, indexed.n, first_hop, u
-                )
+                if self._np_traversal:
+                    hop_row = _npk.bfs_hops_csr_np(
+                        self._indptr_np, self._indices_np, indexed.n, first_hop, u
+                    )
+                    row = _npk.scaled_float_rows(hop_row, indexed.unit_length)
+                else:
+                    hop_row = bfs_hops_csr(
+                        self._indptr, self._indices, indexed.n, first_hop, u
+                    )
+                    row = scaled_float_row(hop_row, indexed.unit_length)
                 hop_rows[first_hop] = hop_row
-                row = scaled_float_row(hop_row, indexed.unit_length)
                 added = 2
             else:
-                row = dijkstra_csr(
-                    self._indptr,
-                    self._indices,
-                    self._edge_lengths,
-                    indexed.n,
-                    first_hop,
-                    u,
-                )
+                if self._np_traversal:
+                    row = self._dijkstra_row_np(first_hop, u)
+                else:
+                    row = dijkstra_csr(
+                        self._indptr,
+                        self._indices,
+                        self._edge_lengths,
+                        indexed.n,
+                        first_hop,
+                        u,
+                    )
                 added = 1
             rows[first_hop] = row
             self.stats["rows_computed"] += 1
@@ -714,6 +895,63 @@ class CostEngine:
             if node == keep:
                 continue
             self.stats["rows_evicted"] += self._drop_node(node)
+
+    def prefetch_env_rows(self, u: int, first_hops) -> None:
+        """Compute every missing ``d_{G-u}`` row of ``first_hops`` in one batch.
+
+        A no-op on the python backend and for fewer than two missing rows;
+        on the numpy backend the missing rows come from one multi-source
+        frontier traversal (:func:`~repro.graphs.int_kernels_np
+        .bfs_hops_csr_multi` / :func:`~repro.graphs.int_kernels_np
+        .dijkstra_csr_multi`), which amortises the per-round dispatch
+        overhead that makes single-source array traversals lose to the list
+        kernels on sparse graphs.  Cached rows are byte-identical to the
+        one-at-a-time path, so this only changes *when* rows are computed.
+        """
+        if not self._np_traversal:
+            return
+        self._require_sync()
+        self._ensure_current(u)
+        entry = self._env_cache.get(u)
+        if entry is None:
+            rows: Dict[int, Row] = {}
+            self._env_cache[u] = (self.version, rows)
+        else:
+            rows = entry[1]
+        missing = [a for a in dict.fromkeys(first_hops) if a not in rows]
+        if len(missing) < 2:
+            return
+        indexed = self.indexed
+        if indexed.uniform_lengths:
+            hop_entry = self._hop_cache.get(u)
+            if hop_entry is None:
+                hop_rows: Dict[int, List[int]] = {}
+                self._hop_cache[u] = (self.version, hop_rows)
+            else:
+                hop_rows = hop_entry[1]
+            matrix = _npk.bfs_hops_csr_multi(
+                self._indptr_np, self._indices_np, indexed.n, missing, u
+            )
+            scaled = _npk.scaled_float_rows(matrix, indexed.unit_length)
+            for i, a in enumerate(missing):
+                hop_rows[a] = matrix[i]
+                rows[a] = scaled[i]
+            added = 2 * len(missing)
+        else:
+            exact = self._edge_lengths_exact_np
+            lengths = exact if exact is not None else self._edge_lengths_np
+            matrix = _npk.dijkstra_csr_multi(
+                self._indptr_np, self._indices_np, lengths, indexed.n, missing, u
+            )
+            if exact is not None:
+                matrix = _npk.int_to_float_rows(matrix)
+            for i, a in enumerate(missing):
+                rows[a] = matrix[i]
+            added = len(missing)
+        self.stats["rows_computed"] += len(missing)
+        self._env_rows_cached += added
+        if self._env_rows_cached > self._max_env_rows:
+            self._evict_env_rows(keep=u)
 
     def through_rows(self, u: int) -> Dict[int, Row]:
         """Return the current-version through-row dict for masked node ``u``.
@@ -802,10 +1040,35 @@ class CostEngine:
         if cached is not None and cached[0] == self.version:
             return dict(cached[1])
         indexed = self.indexed
-        costs = {
-            label: self._aggregate_row(u, self.full_row(u))
-            for u, label in enumerate(indexed.labels)
-        }
+        if self._np_traversal:
+            # One batched traversal for all n unmasked rows; each row is
+            # converted back to the list form _aggregate_row expects, so the
+            # costs (and their plain-float types) match the per-row path.
+            sources = list(range(indexed.n))
+            if indexed.uniform_lengths:
+                matrix = _npk.scaled_float_rows(
+                    _npk.bfs_hops_csr_multi(
+                        self._indptr_np, self._indices_np, indexed.n, sources
+                    ),
+                    indexed.unit_length,
+                )
+            else:
+                exact = self._edge_lengths_exact_np
+                lengths = exact if exact is not None else self._edge_lengths_np
+                matrix = _npk.dijkstra_csr_multi(
+                    self._indptr_np, self._indices_np, lengths, indexed.n, sources
+                )
+                if exact is not None:
+                    matrix = _npk.int_to_float_rows(matrix)
+            costs = {
+                label: self._aggregate_row(u, matrix[u].tolist())
+                for u, label in enumerate(indexed.labels)
+            }
+        else:
+            costs = {
+                label: self._aggregate_row(u, self.full_row(u))
+                for u, label in enumerate(indexed.labels)
+            }
         self._all_costs_cache = (self.version, costs)
         return dict(costs)
 
@@ -866,6 +1129,7 @@ class StrategyScorer:
         "_length_row",
         "_through",
         "_sub",
+        "_target_idx",
         "_version",
     )
 
@@ -880,7 +1144,7 @@ class StrategyScorer:
         self.is_sum = indexed.objective is Objective.SUM
         # Multiplying by an exact 1.0 weight is the identity, so the unit-weight
         # fast path below stays bit-identical to the reference oracle.
-        self.unit_weights = all(w == 1.0 for w in self.weights)
+        self.unit_weights = indexed.unit_weight_nodes[u]
         # Below ~16 targets the fixed per-call overhead of the substituted-row
         # machinery (and of numpy) loses to the plain loops, so small games
         # stay on the original code path end to end.
@@ -899,6 +1163,7 @@ class StrategyScorer:
         self._length_row = indexed.length_rows[u]
         self._through = engine.through_rows(u)
         self._sub = engine.sub_rows(u) if self.fast_sum else None
+        self._target_idx = None  # int64 target indices, built on first use
         self._version = engine.version
 
     def _through_row(self, first_hop: int) -> Row:
@@ -906,12 +1171,35 @@ class StrategyScorer:
         if row is None:
             hop_length = self._length_row[first_hop]
             env = self.engine.env_row(self.u, first_hop)
-            row = [hop_length + d for d in env]
+            if self.engine._np_traversal:
+                # Numpy-backend env rows are float64 arrays; the vectorised
+                # sum is the same one IEEE addition per entry, and tolist()
+                # keeps through rows (and everything scored off them) plain
+                # Python floats on every backend.
+                row = (hop_length + env).tolist()
+            else:
+                row = [hop_length + d for d in env]
             self._through[first_hop] = row
             self.engine._note_derived_row(self.u, "through", self._through)
         return row
 
     def _sub_row(self, first_hop: int) -> Row:
+        engine = self.engine
+        if self.fast_batch and engine._np_traversal:
+            # Build the penalty-substituted target slice straight from the
+            # env row, skipping the O(n) through-row list entirely: the
+            # through value of each target is the same single IEEE sum
+            # (`l(u, a) + d`), and the penalty substitution the same
+            # elementwise test, so the slice is bit-identical to the list
+            # path.  (Repairs patch sub rows from the env row directly too.)
+            if self._target_idx is None:
+                self._target_idx = _np.asarray(self.targets, dtype=_np.int64)
+            env = engine.env_row(self.u, first_hop)
+            row = self._length_row[first_hop] + env[self._target_idx]
+            row[_np.isinf(row)] = self.penalty
+            self._sub[first_hop] = row
+            engine._note_derived_row(self.u, "sub", self._sub)
+            return row
         through = self._through_row(first_hop)
         penalty = self.penalty
         inf = math.inf
@@ -942,6 +1230,7 @@ class StrategyScorer:
         if cached is not None and cached[0] == self._version and cached[1] == key:
             return _readonly_view(cached[2])
         sub = self._sub
+        engine.prefetch_env_rows(self.u, (a for a in candidates if a not in sub))
         rows = []
         for a in candidates:
             row = sub.get(a)
@@ -978,6 +1267,11 @@ class StrategyScorer:
             raise InvalidProfile("scorer is stale: the engine synced to a new profile")
         if self.fast_sum:
             sub = self._sub
+            strategy = list(strategy)
+            if self.engine._np_traversal:
+                self.engine.prefetch_env_rows(
+                    self.u, (a for a in strategy if a not in sub)
+                )
             rows = []
             for a in strategy:
                 row = sub.get(a)

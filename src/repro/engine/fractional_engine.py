@@ -48,9 +48,15 @@ import weakref
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
-import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
+try:  # The engine is numpy/scipy-backed end to end; without them the
+    # resolver below degrades to the reference FlowNetwork/LP path.
+    import numpy as np
+    from scipy import sparse
+    from scipy.optimize import linprog
+except ImportError:  # pragma: no cover - exercised on the minimal CI leg
+    np = None
+    sparse = None
+    linprog = None
 
 from ..core.errors import BBCError, InvalidProfile
 from ..graphs.flow import FlowNetwork
@@ -111,6 +117,11 @@ class FractionalEngine:
     """
 
     def __init__(self, game) -> None:
+        if np is None:
+            raise RuntimeError(
+                "FractionalEngine requires numpy and scipy; install them or "
+                "use the reference path (engine=False)"
+            )
         # Weak back-reference for check_game (a strong one would pin the
         # per-game registry entry); the base integral game is held strongly —
         # it does not key any registry and the LP assembly reads its link
@@ -587,11 +598,15 @@ def resolve_fractional_engine(game, engine) -> "FractionalEngine | None":
     Mirrors :func:`repro.engine.resolve_engine`: ``False`` selects the
     reference FlowNetwork/LP path (returns ``None``), ``None`` the shared
     per-game engine, and an explicit :class:`FractionalEngine` is validated
-    against ``game`` and returned as-is.
+    against ``game`` and returned as-is.  Without numpy/scipy the default
+    resolves to ``None`` — cost evaluation then runs on the dependency-free
+    FlowNetwork reference, and only explicit engine requests fail.
     """
     if engine is False:
         return None
     if engine is None:
+        if np is None:
+            return None
         return get_fractional_engine(game)
     engine.check_game(game)
     return engine

@@ -21,6 +21,11 @@ from typing import Dict, Hashable, List, Tuple
 from ..core.game import BBCGame
 from ..core.objectives import Objective
 
+try:  # Optional array backend; list materialisations below never need it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the minimal CI leg
+    _np = None
+
 Node = Hashable
 
 
@@ -40,7 +45,10 @@ class IndexedGame:
         "unit_length",
         "penalty_dominates",
         "exact_sums",
+        "integral_lengths",
         "identity_labels",
+        "unit_weight_nodes",
+        "_length_matrix",
     )
 
     def __init__(self, game: BBCGame) -> None:
@@ -75,6 +83,11 @@ class IndexedGame:
             targets = [v for v, w in enumerate(weights) if v != u and w > 0]
             self.target_rows.append(targets)
             self.target_weight_rows.append([weights[v] for v in targets])
+        # Whether each node's positive weights are all exactly 1.0, computed
+        # once here so per-probe scorer construction is O(1) in n.
+        self.unit_weight_nodes: List[bool] = [
+            all(w == 1.0 for w in row) for row in self.target_weight_rows
+        ]
         # When labels already are 0..n-1 (every uniform game), label->int
         # translation is the identity and scorers can skip it entirely.  The
         # type check matters: floats/bools numerically equal to 0..n-1 would
@@ -82,6 +95,17 @@ class IndexedGame:
         self.identity_labels = all(
             type(label) is int for label in self.labels
         ) and self.labels == tuple(range(self.n))
+        lengths_integral = all(
+            float(length).is_integer() for row in self.length_rows for length in row
+        )
+        # With integer-valued lengths every shortest distance is an exact
+        # integer; as long as the largest one ((n-1) arcs of the maximum
+        # length) stays below 2**53, int64 and float64 agree bit for bit.
+        # That is the licence for the numpy backend's exact-int traversal
+        # space (hop rows always qualify — hops are plain counts).
+        self.integral_lengths = (
+            lengths_integral and (self.n - 1) * self.unit_length <= 2.0**53
+        )
         # With integer-valued lengths and penalty, every distance, penalty
         # substitution, and cost sum is an exact integer, and as long as the
         # largest possible sum (n addends, each at most the dominating
@@ -91,12 +115,26 @@ class IndexedGame:
         self.exact_sums = (
             float(self.penalty).is_integer()
             and self.n * max(self.penalty, (self.n - 1) * self.unit_length) <= 2.0**53
-            and all(
-                float(length).is_integer()
-                for row in self.length_rows
-                for length in row
-            )
+            and lengths_integral
         )
+        # Dense float64 view of `length_rows`, materialised on first use by
+        # the numpy repair kernels (old-row reconstruction and boundary
+        # in-edges index it as `matrix[p, v]`).
+        self._length_matrix = None
+
+    def length_matrix(self):
+        """Return the dense ``n x n`` float64 link-length matrix (lazy, cached).
+
+        The numpy traversal backend's repair kernels read static arc lengths
+        by fancy indexing; the matrix is one ``np.asarray`` over the list
+        rows, built at most once per game.  Raises ``RuntimeError`` without
+        numpy — callers gate on the backend, which already requires it.
+        """
+        if _np is None:  # pragma: no cover - numpy-backend callers only
+            raise RuntimeError("IndexedGame.length_matrix requires numpy")
+        if self._length_matrix is None:
+            self._length_matrix = _np.asarray(self.length_rows, dtype=_np.float64)
+        return self._length_matrix
 
     def to_ints(self, labels) -> List[int]:
         """Map an iterable of node labels to their dense int ids."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, TypeVar
 
 from ..core import BBCGame, Objective, UniformBBCGame
 

@@ -8,7 +8,7 @@ realistic (but fully reproducible) inputs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..core import BBCGame, Objective, StrategyProfile, UniformBBCGame
 from ..rng import SeedLike, as_rng as _rng

@@ -33,11 +33,10 @@ direction is probed by restricted exhaustive search on small formulas
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..core import (
     BBCGame,
-    EquilibriumReport,
     Objective,
     SearchSummary,
     StrategyProfile,

@@ -6,7 +6,6 @@ seed so every experiment in the benchmark harness is reproducible.
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, List, Optional, Sequence
 
 from ..rng import SeedLike, as_rng as _rng

@@ -1,8 +1,38 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+Setting ``REPRO_DISABLE_NUMPY=1`` blocks every ``numpy``/``scipy`` import
+before the suite starts, which simulates the minimal-deps CI leg (pytest +
+hypothesis + networkx only) on a fully provisioned machine: all backend
+``vectorized``/numpy gates must degrade gracefully and the numpy-only tests
+must skip, not fail.
+"""
+
+import os
+import sys
 
 import pytest
 
-from repro.core import StrategyProfile, UniformBBCGame
+if os.environ.get("REPRO_DISABLE_NUMPY"):
+
+    class _BlockOptionalDeps:
+        """Meta-path finder that refuses numpy/scipy, simulating their absence."""
+
+        _blocked = ("numpy", "scipy")
+
+        def find_spec(self, fullname, path=None, target=None):
+            if fullname.split(".")[0] in self._blocked:
+                raise ModuleNotFoundError(
+                    f"{fullname} is disabled by REPRO_DISABLE_NUMPY", name=fullname
+                )
+            return None
+
+    for _name in [
+        name for name in sys.modules if name.split(".")[0] in ("numpy", "scipy")
+    ]:
+        del sys.modules[_name]
+    sys.meta_path.insert(0, _BlockOptionalDeps())
+
+from repro.core import StrategyProfile, UniformBBCGame  # noqa: E402
 
 
 @pytest.fixture

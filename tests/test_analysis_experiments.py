@@ -1,6 +1,5 @@
 """Analysis studies, table rendering, and experiment workloads."""
 
-import pytest
 
 from repro.analysis import (
     connectivity_convergence_study,
@@ -16,7 +15,7 @@ from repro.analysis import (
     regularity_study,
     ring_path_lower_bound_study,
 )
-from repro.core import Objective, is_pure_nash
+from repro.core import Objective
 from repro.experiments import (
     empty_initial_profile,
     empty_start_convergence_study,

@@ -1,0 +1,365 @@
+"""Parity of the numpy traversal backend against the list kernels.
+
+Two layers, mirroring ``tests/test_engine_parity.py``:
+
+* kernel level — the array kernels in :mod:`repro.graphs.int_kernels_np`
+  (single-source, multi-source, and repair) against the list kernels on
+  randomized graphs, masked and unmasked, with zero-length edges and
+  disconnected nodes;
+* engine level — ``CostEngine(game, backend="numpy")`` against
+  ``backend="python"`` on full equilibrium reports, ``all_costs``, and
+  best-response walk traces (the repair-after-edit path), all required
+  **bit-identical**.
+
+The backend selector's fallback behaviour (auto resolution, the explicit
+``backend="numpy"`` failure without numpy) is tested without requiring
+numpy, so the minimal-deps CI leg still exercises it.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import BBCGame, UniformBBCGame, equilibrium_report
+from repro.dynamics import run_best_response_walk
+from repro.engine import (
+    NUMPY_BACKEND_MIN_N,
+    CostEngine,
+    SweepEvaluator,
+    resolve_backend,
+)
+from repro.engine.cost_engine import NUMPY_BACKEND_MIN_N_UNIFORM
+from repro.graphs.int_kernels import bfs_hops_csr, build_csr, dijkstra_csr
+from repro.experiments.workloads import random_initial_profile
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the minimal CI leg
+    np = None
+
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy is not installed")
+
+if np is not None:
+    from repro.graphs import int_kernels_np as npk
+
+from hypothesis import given, settings, strategies as st
+
+from test_engine_parity import (
+    _csr_with_lengths,
+    _random_adjacency,
+    _random_edit_sequence,
+)
+
+
+def _float_rows_equal(reference, produced):
+    """Bitwise row equality with inf == inf (lists or arrays, any numeric mix)."""
+    assert len(reference) == len(produced)
+    for a, b in zip(reference, produced):
+        if math.isinf(a):
+            assert math.isinf(b)
+        else:
+            assert a == b
+
+
+def _length_choices(integral):
+    # Zero-length edges exercise the tie rules; the non-integral pool forces
+    # the float64 frontier path (including an awkwardly rounded value).
+    if integral:
+        return [0.0, 1.0, 1.0, 2.0, 5.0]
+    return [0.0, 0.1, 1.0, 1.7, 2.30000001]
+
+
+# --------------------------------------------------------------------- #
+# Kernel-level parity
+# --------------------------------------------------------------------- #
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12), integral=st.booleans())
+def test_fresh_kernels_match_list_kernels(seed, n, integral):
+    """BFS and Dijkstra array kernels are bit-identical, masked and unmasked."""
+    rng = random.Random(seed)
+    rows = _random_adjacency(rng, n)
+    length_rows = [
+        [float(rng.choice(_length_choices(integral))) for _ in range(n)]
+        for _ in range(n)
+    ]
+    indptr, indices, lengths = _csr_with_lengths(rows, length_rows)
+    indptr_np, indices_np = npk.csr_arrays(indptr, indices)
+    lengths_np = np.asarray(
+        lengths, dtype=np.int64 if integral else np.float64
+    )
+    for forbidden in (-1, rng.randrange(n)):
+        for source in range(n):
+            if source == forbidden:
+                continue
+            hops = bfs_hops_csr(indptr, indices, n, source, forbidden)
+            hops_np = npk.bfs_hops_csr_np(indptr_np, indices_np, n, source, forbidden)
+            assert hops == hops_np.tolist()
+            dist = dijkstra_csr(indptr, indices, lengths, n, source, forbidden)
+            dist_np = npk.dijkstra_csr_np(
+                indptr_np, indices_np, lengths_np, n, source, forbidden
+            )
+            produced = (
+                npk.int_to_float_rows(dist_np) if integral else dist_np
+            )
+            _float_rows_equal(dist, produced)
+
+
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12), integral=st.booleans())
+def test_multi_source_kernels_match_single_source(seed, n, integral):
+    """Each row of the batched kernels equals its single-source counterpart."""
+    rng = random.Random(seed)
+    rows = _random_adjacency(rng, n)
+    length_rows = [
+        [float(rng.choice(_length_choices(integral))) for _ in range(n)]
+        for _ in range(n)
+    ]
+    indptr, indices, lengths = _csr_with_lengths(rows, length_rows)
+    indptr_np, indices_np = npk.csr_arrays(indptr, indices)
+    lengths_np = np.asarray(lengths, dtype=np.int64 if integral else np.float64)
+    for forbidden in (-1, rng.randrange(n)):
+        sources = [s for s in range(n) if s != forbidden]
+        hop_matrix = npk.bfs_hops_csr_multi(
+            indptr_np, indices_np, n, sources, forbidden
+        )
+        dist_matrix = npk.dijkstra_csr_multi(
+            indptr_np, indices_np, lengths_np, n, sources, forbidden
+        )
+        for i, source in enumerate(sources):
+            assert hop_matrix[i].tolist() == bfs_hops_csr(
+                indptr, indices, n, source, forbidden
+            )
+            reference = dijkstra_csr(indptr, indices, lengths, n, source, forbidden)
+            produced = (
+                npk.int_to_float_rows(dist_matrix[i])
+                if integral
+                else dist_matrix[i]
+            )
+            _float_rows_equal(reference, produced)
+
+
+@needs_numpy
+def test_multi_source_rejects_forbidden_source():
+    indptr, indices = npk.csr_arrays(*build_csr([[1], [0]]))
+    with pytest.raises(ValueError):
+        npk.bfs_hops_csr_multi(indptr, indices, 2, [0, 1], forbidden=1)
+    with pytest.raises(ValueError):
+        npk.dijkstra_csr_multi(
+            indptr, indices, np.asarray([1.0, 1.0]), 2, [0, 1], forbidden=1
+        )
+
+
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(3, 11),
+    steps=st.integers(1, 4),
+    integral=st.booleans(),
+)
+def test_repair_kernels_match_fresh_traversals_np(seed, n, steps, integral):
+    """Array-repaired rows are bit-identical to fresh traversals of the new graph."""
+    rng = random.Random(seed)
+    rows = _random_adjacency(rng, n)
+    length_rows = [
+        [float(rng.choice(_length_choices(integral))) for _ in range(n)]
+        for _ in range(n)
+    ]
+    indptr0, indices0, lengths0 = _csr_with_lengths(rows, length_rows)
+    new_rows, edits = _random_edit_sequence(rng, rows, steps)
+    indptr1, indices1, lengths1 = _csr_with_lengths(new_rows, length_rows)
+    indptr0_np, indices0_np = npk.csr_arrays(indptr0, indices0)
+    indptr1_np, indices1_np = npk.csr_arrays(indptr1, indices1)
+    rev_indptr, rev_tails = npk.reverse_csr(indptr1_np, indices1_np, n)
+    lengths1_np = np.asarray(lengths1, dtype=np.float64)
+    length_matrix = np.asarray(length_rows, dtype=np.float64)
+    for forbidden in (-1, rng.randrange(n)):
+        for source in range(n):
+            if source == forbidden:
+                continue
+            # Hop rows repair in exact int64 space on the array the engine
+            # caches (the single-source kernel's output).
+            hops = npk.bfs_hops_csr_np(indptr0_np, indices0_np, n, source, forbidden)
+            touched = npk.repair_hops_csr_np(
+                indptr1_np, indices1_np, hops, source, edits,
+                rev_indptr, rev_tails, forbidden,
+            )
+            fresh = bfs_hops_csr(indptr1, indices1, n, source, forbidden)
+            assert hops.tolist() == fresh
+            assert set(touched) >= {
+                v
+                for v, (old, new) in enumerate(
+                    zip(bfs_hops_csr(indptr0, indices0, n, source, forbidden), fresh)
+                )
+                if old != new
+            }
+            dist = np.asarray(
+                dijkstra_csr(indptr0, indices0, lengths0, n, source, forbidden),
+                dtype=np.float64,
+            )
+            npk.repair_dijkstra_csr_np(
+                indptr1_np, indices1_np, lengths1_np, dist, source, edits,
+                rev_indptr, rev_tails, length_matrix, forbidden,
+            )
+            _float_rows_equal(
+                dijkstra_csr(indptr1, indices1, lengths1, n, source, forbidden), dist
+            )
+
+
+# --------------------------------------------------------------------- #
+# Backend selection
+# --------------------------------------------------------------------- #
+def test_resolve_backend_pins_and_rejects():
+    assert resolve_backend("python", 10_000) == "python"
+    with pytest.raises(ValueError):
+        resolve_backend("vectorised", 8)
+    if np is None:
+        with pytest.raises(ValueError):
+            resolve_backend("numpy", 8)
+        assert resolve_backend(None, 10_000) == "python"
+        assert resolve_backend("auto", 10_000, uniform_lengths=True) == "python"
+    else:
+        assert resolve_backend("numpy", 8) == "numpy"
+        assert resolve_backend(None, NUMPY_BACKEND_MIN_N) == "numpy"
+        assert resolve_backend(None, NUMPY_BACKEND_MIN_N - 1) == "python"
+        assert (
+            resolve_backend("auto", NUMPY_BACKEND_MIN_N, uniform_lengths=True)
+            == "python"
+        )
+        assert (
+            resolve_backend("auto", NUMPY_BACKEND_MIN_N_UNIFORM, uniform_lengths=True)
+            == "numpy"
+        )
+
+
+def test_engine_backend_defaults_to_python_on_small_games():
+    engine = CostEngine(UniformBBCGame(6, 2))
+    assert engine.backend == "python"
+
+
+def test_sweep_evaluator_rejects_engine_plus_backend(small_uniform_game):
+    engine = CostEngine(small_uniform_game)
+    with pytest.raises(ValueError):
+        SweepEvaluator(small_uniform_game, engine=engine, backend="python")
+
+
+# --------------------------------------------------------------------- #
+# Engine-level parity
+# --------------------------------------------------------------------- #
+def _weighted_game(n, seed=5, integral=True):
+    rng = random.Random(seed)
+    lengths = {}
+    for u in range(n):
+        for v in rng.sample([x for x in range(n) if x != u], min(5, n - 1)):
+            value = float(rng.randint(2, 7))
+            lengths[(u, v)] = value if integral else value + 0.25
+    return BBCGame(nodes=range(n), link_lengths=lengths, default_budget=2.0)
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "make_game",
+    [
+        lambda: UniformBBCGame(20, 2),
+        lambda: _weighted_game(20, integral=True),
+        lambda: _weighted_game(20, integral=False),
+    ],
+    ids=["uniform-bfs", "weighted-int", "weighted-float"],
+)
+def test_equilibrium_report_bit_identical_across_backends(make_game):
+    game = make_game()
+    profile = random_initial_profile(game, seed=9)
+    report_py = equilibrium_report(
+        game, profile, engine=CostEngine(game, backend="python")
+    )
+    report_np = equilibrium_report(
+        game, profile, engine=CostEngine(game, backend="numpy")
+    )
+    assert report_np.responses == report_py.responses
+    assert report_np.max_regret == report_py.max_regret
+    assert type(report_np.max_regret) is float
+
+
+@needs_numpy
+@pytest.mark.parametrize("uniform", [True, False], ids=["bfs", "dijkstra"])
+def test_walk_trace_bit_identical_across_backends(uniform):
+    """End-to-end walk (syncs, repairs, scoring) pinned across backends."""
+    game = UniformBBCGame(40, 2) if uniform else _weighted_game(24)
+    initial = random_initial_profile(game, seed=3)
+    walk_py = run_best_response_walk(
+        game, initial, max_rounds=18, engine=CostEngine(game, backend="python")
+    )
+    walk_np = run_best_response_walk(
+        game, initial, max_rounds=18, engine=CostEngine(game, backend="numpy")
+    )
+    assert walk_np.final_profile == walk_py.final_profile
+    assert walk_np.probes == walk_py.probes
+    assert walk_np.deviations == walk_py.deviations
+    assert walk_np.reached_equilibrium == walk_py.reached_equilibrium
+
+
+@needs_numpy
+def test_repeated_rechecks_repair_numpy_rows_bit_identically():
+    """Single-deviation rechecks on a warmed numpy engine repair, not recompute."""
+    game = UniformBBCGame(32, 2)
+    rng = random.Random(1)
+    nodes = list(game.nodes)
+    profile = random_initial_profile(game, seed=7)
+    engine_np = CostEngine(game, backend="numpy")
+    engine_py = CostEngine(game, backend="python")
+    equilibrium_report(game, profile, engine=engine_np)
+    equilibrium_report(game, profile, engine=engine_py)
+    for _ in range(6):
+        node = rng.choice(nodes)
+        others = [v for v in nodes if v != node]
+        profile = profile.with_strategy(node, frozenset(rng.sample(others, 2)))
+        report_np = equilibrium_report(game, profile, engine=engine_np)
+        report_py = equilibrium_report(game, profile, engine=engine_py)
+        assert report_np.responses == report_py.responses
+    assert engine_np.stats["rows_repaired"] > 0
+
+
+@needs_numpy
+def test_all_costs_matches_and_returns_plain_floats():
+    for game in (UniformBBCGame(24, 2), _weighted_game(24), _weighted_game(24, integral=False)):
+        profile = random_initial_profile(game, seed=4)
+        costs_np = CostEngine(game, backend="numpy").all_costs(profile)
+        costs_py = CostEngine(game, backend="python").all_costs(profile)
+        assert costs_np == costs_py
+        assert all(type(value) is float for value in costs_np.values())
+
+
+@needs_numpy
+def test_sweep_evaluator_backend_kwarg_parity(small_uniform_game):
+    from repro.core import random_profile
+
+    profiles = [
+        random_profile(small_uniform_game, seed=seed) for seed in range(12)
+    ]
+    sweep_np = SweepEvaluator(small_uniform_game, backend="numpy")
+    sweep_py = SweepEvaluator(small_uniform_game, backend="python")
+    assert sweep_np.engine.backend == "numpy"
+    assert sweep_py.engine.backend == "python"
+    for profile in profiles:
+        assert sweep_np.is_nash(profile) == sweep_py.is_nash(profile)
+
+
+@needs_numpy
+def test_prefetch_is_invisible_to_results():
+    """Prefetched rows serve later probes; a cold scorer path agrees exactly."""
+    game = UniformBBCGame(24, 2)
+    profile = random_initial_profile(game, seed=2)
+    engine = CostEngine(game, backend="numpy")
+    engine.sync(profile)
+    engine.prefetch_env_rows(3, [v for v in range(24) if v != 3])
+    prefetched = engine.scorer(3)
+    cold_engine = CostEngine(game, backend="numpy")
+    cold_engine.sync(profile)
+    cold = cold_engine.scorer(3)
+    for seed in range(10):
+        rng = random.Random(seed)
+        strategy = rng.sample([v for v in range(24) if v != 3], 2)
+        assert prefetched.score_ints(list(strategy)) == cold.score_ints(list(strategy))

@@ -1,6 +1,5 @@
 """Exact best responses: oracle consistency and brute-force agreement."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -1,8 +1,22 @@
-"""Fractional BBC games: flow costs, LP best responses, Theorem 3 dynamics."""
+"""Fractional BBC games: flow costs, LP best responses, Theorem 3 dynamics.
+
+Cost evaluation runs on the dependency-free FlowNetwork path, but best
+responses solve LPs: the tests that touch them skip on the minimal-deps CI
+leg (no numpy/scipy) via :data:`needs_scipy`.
+"""
 
 import pytest
 
-from repro.core import (
+try:
+    import scipy  # noqa: F401
+except ImportError:
+    scipy = None
+
+needs_scipy = pytest.mark.skipif(
+    scipy is None, reason="fractional best responses solve LPs and require scipy"
+)
+
+from repro.core import (  # noqa: E402
     FractionalBBCGame,
     FractionalProfile,
     InvalidStrategy,
@@ -66,6 +80,7 @@ def test_fractional_split_costs_blend_path_and_penalty():
     assert cost01 == pytest.approx(0.5 * 1 + 0.5 * base.disconnection_penalty)
 
 
+@needs_scipy
 def test_lp_best_response_improves_empty_strategy(small_fractional_game):
     game = small_fractional_game
     profile = game.even_split_profile()
@@ -75,6 +90,7 @@ def test_lp_best_response_improves_empty_strategy(small_fractional_game):
     assert spend <= game.base.budget(0) + 1e-6
 
 
+@needs_scipy
 def test_lp_best_response_matches_integral_on_cycle(cycle_profile):
     base = UniformBBCGame(5, 1)
     game = FractionalBBCGame(base)
@@ -85,6 +101,7 @@ def test_lp_best_response_matches_integral_on_cycle(cycle_profile):
     assert response.regret <= 1e-6
 
 
+@needs_scipy
 def test_iterated_best_response_reaches_epsilon_equilibrium():
     base = UniformBBCGame(4, 1)
     game = FractionalBBCGame(base)
@@ -95,6 +112,7 @@ def test_iterated_best_response_reaches_epsilon_equilibrium():
     assert len(result.cost_history) >= 2
 
 
+@needs_scipy
 def test_theorem3_nonuniform_instance_has_epsilon_equilibrium():
     # A small non-uniform game (the kind Theorem 1 uses to break integral
     # equilibria) still admits a fractional (epsilon-)equilibrium, as

@@ -1,10 +1,16 @@
 """FractionalEngine: parity with the FlowNetwork/LP reference, cache
 invalidation, the PR's dynamics correctness fixes, and process-count
-invariance of the equilibrium report."""
+invariance of the equilibrium report.
+
+The engine is numpy/scipy-backed end to end (sparse LPs, vectorised flow
+bookkeeping), so the whole module skips on the minimal-deps CI leg.
+"""
 
 import pytest
 
-from repro.core import (
+pytest.importorskip("scipy", reason="FractionalEngine requires numpy and scipy")
+
+from repro.core import (  # noqa: E402
     BBCGame,
     FractionalBBCGame,
     FractionalProfile,

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.core import equilibrium_report, is_pure_nash
+from repro.core import is_pure_nash
 from repro.gadgets import (
-    BOTTOMS,
     CENTRALS,
-    TOPS,
     bottom_switch_distances,
     build_matching_pennies_gadget,
     build_max_gadget,

@@ -7,7 +7,6 @@ import pytest
 from repro.core import (
     EfficiencyReport,
     FairnessReport,
-    StrategyProfile,
     UniformBBCGame,
     fairness_report,
     lemma1_additive_bound,

@@ -24,7 +24,6 @@ from repro.core import (
     BBCGame,
     Objective,
     SearchSpaceTooLarge,
-    StrategyProfile,
     UniformBBCGame,
     enumerate_profiles,
     exhaustive_equilibrium_search,
