@@ -34,10 +34,16 @@ with per-node restricted candidate targets at n in {64, 256, 1024} on a
 uniform (BFS-backed) and an integer-weighted (Dijkstra-backed) game, plus
 whole-profile ``all_costs`` sweeps at the largest size — timing
 ``CostEngine(game, backend="python")`` (list kernels) against
-``backend="numpy"`` (vectorised frontier kernels).  Results merge under
-``backend_results``; the Dijkstra-backed report at the largest size must
-clear a 3x floor.  Without numpy the mode records nothing and exits
-successfully, which is what the minimal-deps CI leg exercises.
+``backend="numpy"`` (vectorised frontier kernels).  On top of those, the
+giant-batch scenarios time whole reports against the per-node-batch path
+(``giant_batch=False``) at n = 4096 on both kernels plus a giant-only
+n = 16384 BFS report, each row carrying a bottleneck profile (in-kernel
+traversal seconds vs scoring/enumeration) and the engine's cache counters
+(chunk evictions, rows per giant traversal, recomputes after eviction).
+Results merge under ``backend_results``; the Dijkstra-backed report and the
+giant-batch BFS report at their largest sizes must each clear a 3x floor.
+Without numpy the mode runs a tiny python-kernel giant-batch parity check
+(the fallback the minimal-deps CI leg exercises) and records nothing.
 
 ``--check-floors`` runs no benchmarks: it re-reads ``BENCH_speed.json`` and
 exits non-zero if any recorded (non-smoke) mode fell below its enforced
@@ -108,6 +114,10 @@ CORE_REPORT_FLOOR = 3.0
 #: The Dijkstra-backed backend report at the largest benchmarked size must
 #: stay at least this much faster on the numpy kernels than the list kernels.
 BACKEND_DIJKSTRA_FLOOR = 3.0
+#: The giant-batch BFS report at its largest compared size must stay at
+#: least this much faster than the per-node-batch path (giant_batch=False)
+#: on the same numpy kernels.
+BACKEND_GIANT_FLOOR = 3.0
 FRACTIONAL_MAX_ROUNDS = 12
 FRACTIONAL_TOLERANCE = 1e-5
 #: Candidate targets per node in the backend reports: restricting deviations
@@ -569,6 +579,126 @@ def bench_backend_all_costs(game, kernel, n, repeats):
     }
 
 
+def _timed_giant_report(game, profile, candidates, backend, giant_batch, repeats):
+    """Best time of a report on a cold engine; returns the best run's engine too."""
+    best = None
+    report = None
+    engine = None
+    for _ in range(repeats):
+        candidate_engine = CostEngine(game, backend=backend, giant_batch=giant_batch)
+        start = time.perf_counter()
+        result = equilibrium_report(
+            game, profile, candidates=candidates, engine=candidate_engine
+        )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, report, engine = elapsed, result, candidate_engine
+    return best, report, engine
+
+
+def bench_backend_giant_report(
+    game,
+    kernel,
+    n,
+    repeats,
+    include_reference,
+    backend="numpy",
+    candidates_per_node=BACKEND_CANDIDATES_PER_NODE,
+):
+    """Giant chunked multi-mask traversals vs the per-node-batch path.
+
+    Both arms run the same kernels on the same restricted-candidate report;
+    the only difference is whether ``equilibrium_report``'s staged row plan
+    fills the cache in giant per-row-masked chunks (``giant_batch=True``,
+    the default) or one small batch per probed node (``giant_batch=False``,
+    the PR 5 behaviour).  The row doubles as a bottleneck profile:
+    ``traversal_seconds`` is the engine's in-kernel time and
+    ``scoring_seconds`` the rest of the report (candidate enumeration,
+    vectorised scoring, bookkeeping), so the trajectory records where the
+    next optimisation target sits.  ``include_reference=False`` records a
+    giant-only row for sizes where the per-node arm would take minutes.
+    """
+    profile = random_initial_profile(game, seed=PROFILE_SEED)
+    candidates = _backend_candidates(game, candidates_per_node, seed=11)
+    giant_time, report, engine = _timed_giant_report(
+        game, profile, candidates, backend, True, repeats
+    )
+    stats = engine.snapshot_stats()
+    row = {
+        "task": f"backend_giant_{kernel}_report",
+        "kernel": kernel,
+        "backend": backend,
+        "n": n,
+        "k": K,
+        "candidates_per_node": candidates_per_node,
+        "max_regret": report.max_regret,
+        "engine_seconds": giant_time,
+        "traversal_seconds": stats["traversal_seconds"],
+        "scoring_seconds": max(0.0, giant_time - stats["traversal_seconds"]),
+        "giant_batch_traversals": stats["giant_batch_traversals"],
+        "giant_batch_rows": stats["giant_batch_rows"],
+        "rows_per_traversal": (
+            stats["giant_batch_rows"] / stats["giant_batch_traversals"]
+            if stats["giant_batch_traversals"]
+            else 0.0
+        ),
+        "rows_evicted": stats["rows_evicted"],
+        "chunks_evicted": stats["chunks_evicted"],
+        "evicted_recomputes": stats["evicted_recomputes"],
+        "cache_bytes": stats["cache_bytes"],
+        "memory_budget_bytes": stats["memory_budget_bytes"],
+    }
+    if include_reference:
+        per_node_time, per_node_report, _ = _timed_giant_report(
+            game, profile, candidates, backend, False, repeats
+        )
+        assert per_node_report.responses == report.responses
+        row["reference_seconds"] = per_node_time
+        row["speedup"] = per_node_time / giant_time
+    print(
+        f"  giant stats: {stats['giant_batch_rows']} rows in "
+        f"{stats['giant_batch_traversals']} traversals "
+        f"({row['rows_per_traversal']:.0f} rows/traversal), "
+        f"{stats['chunks_evicted']} chunks / {stats['rows_evicted']} rows evicted, "
+        f"{stats['evicted_recomputes']} recomputes after eviction, "
+        f"cache {stats['cache_bytes'] / 2**20:.1f} MiB of "
+        f"{stats['memory_budget_bytes'] / 2**20:.0f} MiB budget"
+    )
+    print(
+        f"  profile: traversal {row['traversal_seconds']:.3f}s, "
+        f"scoring+enumeration {row['scoring_seconds']:.3f}s"
+    )
+    return row
+
+
+def _python_giant_fallback_check():
+    """The minimal-deps leg: giant-batch planning on the pure-list kernels.
+
+    Without numpy there is no vectorised arm to compare, but the staged row
+    plan still drains through the list multi-kernels one chunk at a time —
+    this checks that fallback end to end against the dict oracle and reports
+    how it ran, recording nothing (there is no speedup to gate).
+    """
+    game = UniformBBCGame(24, K)
+    profile = random_initial_profile(game, seed=PROFILE_SEED)
+    candidates = _backend_candidates(game, BACKEND_CANDIDATES_PER_NODE, seed=11)
+    engine = CostEngine(game, backend="python")
+    start = time.perf_counter()
+    report = equilibrium_report(game, profile, candidates=candidates, engine=engine)
+    elapsed = time.perf_counter() - start
+    reference = equilibrium_report(game, profile, candidates=candidates, engine=False)
+    assert report.responses == reference.responses
+    assert engine.stats["giant_batch_traversals"] > 0
+    print(
+        "numpy is not installed; ran the python-kernel giant-batch fallback "
+        f"check instead: n=24 report in {elapsed:.3f}s, "
+        f"{engine.stats['giant_batch_rows']} rows in "
+        f"{engine.stats['giant_batch_traversals']} giant traversals, "
+        "matches the reference oracle"
+    )
+    return 0
+
+
 def run_backend_scenarios(args, repeats):
     sizes = [32, 64] if args.smoke else [64, 256, 1024]
     rows = []
@@ -589,6 +719,49 @@ def run_backend_scenarios(args, repeats):
             _backend_weighted_game(largest), "dijkstra", largest, repeats
         )
     )
+    if args.smoke:
+        # Tiny giant-batch runs on both backends: the point is exercising the
+        # staged-plan path end to end, not the ratios.
+        for backend in ("numpy", "python"):
+            print(f"benchmarking giant-batch report n=48 ({backend} kernels) ...")
+            rows.append(
+                bench_backend_giant_report(
+                    UniformBBCGame(48, K),
+                    "bfs",
+                    48,
+                    repeats,
+                    include_reference=True,
+                    backend=backend,
+                )
+            )
+        sizes = sizes + [48]
+    else:
+        n = 4096
+        print(f"benchmarking giant-batch report n={n} (BFS kernels) ...")
+        rows.append(
+            bench_backend_giant_report(
+                UniformBBCGame(n, K), "bfs", n, repeats, include_reference=True
+            )
+        )
+        print(f"benchmarking giant-batch report n={n} (Dijkstra kernels) ...")
+        rows.append(
+            bench_backend_giant_report(
+                _backend_weighted_game(n), "dijkstra", n, repeats, include_reference=True
+            )
+        )
+        n = 16384
+        print(f"benchmarking giant-batch report n={n} (BFS kernels, giant only) ...")
+        rows.append(
+            bench_backend_giant_report(
+                UniformBBCGame(n, K),
+                "bfs",
+                n,
+                repeats,
+                include_reference=False,
+                candidates_per_node=4,
+            )
+        )
+        sizes = sizes + [4096, 16384]
     return sizes, rows
 
 
@@ -642,13 +815,29 @@ def _incremental_floor_violations(rows):
 
 
 def _backend_floor_violations(rows):
+    violations = []
     largest = _largest_row(rows, "backend_dijkstra_report")
     if largest is not None and largest["speedup"] < BACKEND_DIJKSTRA_FLOOR:
-        return [
+        violations.append(
             f"backend: backend_dijkstra_report speedup {largest['speedup']:.2f}x at "
             f"n={largest['n']} is below {BACKEND_DIJKSTRA_FLOOR:g}x"
-        ]
-    return []
+        )
+    # The giant-only rows (no per-node arm at the largest sizes) carry no
+    # speedup; the floor gates the largest *compared* giant BFS report.
+    compared = [
+        row
+        for row in rows
+        if row["task"] == "backend_giant_bfs_report" and "speedup" in row
+    ]
+    if compared:
+        largest = max(compared, key=lambda row: row["n"])
+        if largest["speedup"] < BACKEND_GIANT_FLOOR:
+            violations.append(
+                f"backend: backend_giant_bfs_report speedup "
+                f"{largest['speedup']:.2f}x at n={largest['n']} is below "
+                f"{BACKEND_GIANT_FLOOR:g}x"
+            )
+    return violations
 
 
 #: mode -> (results key, meta key, checker).  Smoke-recorded rows are skipped:
@@ -708,7 +897,7 @@ def check_floors(json_path):
 
 def render_table(rows):
     lines = [
-        f"{'task':<24} {'n':>4} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
+        f"{'task':<30} {'n':>5} {'reference[s]':>13} {'engine[s]':>10} {'speedup':>8}"
     ]
     for row in rows:
         # The study-grid scenario times serial vs parallel instead of
@@ -717,7 +906,7 @@ def render_table(rows):
         engine = row.get("engine_seconds", row.get("parallel_seconds"))
         speedup = row.get("speedup", row.get("scaling"))
         lines.append(
-            f"{row['task']:<24} {row['n']:>4} "
+            f"{row['task']:<30} {row['n']:>5} "
             f"{(f'{reference:.4f}' if reference is not None else '-'):>13} "
             f"{engine:>10.4f} "
             f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>8}"
@@ -866,11 +1055,11 @@ def main():
         )
 
     if args.backend and not _backend_available():
-        # The minimal-deps CI leg lands here: the selector refuses "numpy",
-        # every auto resolution degrades to the list kernels, and there is
-        # nothing to compare — which is itself the behaviour under test.
-        print("numpy is not installed; backend scenarios skipped")
-        return 0
+        # The minimal-deps CI leg lands here: the selector refuses "numpy"
+        # and every auto resolution degrades to the list kernels, so there is
+        # no vectorised arm to record — but the giant-batch plan still has a
+        # pure-python drain path, which this checks end to end.
+        return _python_giant_fallback_check()
 
     if args.sweep:
         rows = run_sweep_scenarios(args, repeats)

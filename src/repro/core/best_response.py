@@ -216,7 +216,11 @@ def _resolve_scorer(
         # current strategy's — in one batched traversal up front, instead of
         # trickling out of the scorer one (slow single-source) kernel call
         # at a time.  Unknown labels are skipped; scoring surfaces them with
-        # the same errors as before.
+        # the same errors as before.  (When a report staged a giant-batch
+        # plan covering this node — see CostEngine.plan_report_prefetch —
+        # the prefetch call runs the node's whole planned chunk and the
+        # per-node batch here becomes a mop-up of at most the stragglers;
+        # the python backend reaches the same plan through env_row.)
         hops = candidates if candidates is not None else game.nodes
         if scorer.identity_labels:
             wanted = [a for a in hops if a != node]

@@ -19,6 +19,27 @@ from .profile import StrategyProfile
 Node = Hashable
 
 
+def _report_engine(game, profile, candidates, engine):
+    """Resolve ``engine`` and stage a giant-batch plan for a full report.
+
+    Reports probe *every* node against the same profile, so the whole row
+    working set is known up front; handing it to
+    :meth:`~repro.engine.cost_engine.CostEngine.plan_report_prefetch` lets
+    the engine fill it chunk by chunk with giant multi-source, per-row-masked
+    traversals instead of one small batch per node.  Returns the resolved
+    engine to thread into the per-node probes (or ``engine`` unchanged when
+    the reference path was requested or the engine subsystem resolves to
+    none).  Planning never changes a computed value, only the batching.
+    """
+    from ..engine import resolve_engine
+
+    resolved = resolve_engine(game, engine)
+    if resolved is None:
+        return engine
+    resolved.plan_report_prefetch(profile, candidates)
+    return resolved
+
+
 @dataclass(frozen=True)
 class EquilibriumReport:
     """Result of checking every node of a profile for profitable deviations."""
@@ -72,9 +93,14 @@ def equilibrium_report(
 
     All nodes are probed against the same profile, so the default flat-array
     engine computes each environment-distance row at most once for the whole
-    report; ``engine=False`` forces the reference dict-based oracle.
+    report — and, because the whole working set is known up front, fills it
+    with giant chunked multi-source traversals (see
+    :meth:`~repro.engine.cost_engine.CostEngine.plan_report_prefetch`)
+    instead of one small batch per node; ``engine=False`` forces the
+    reference dict-based oracle.
     """
     game.validate_profile(profile)
+    engine = _report_engine(game, profile, candidates, engine)
     responses: Dict[Node, BestResponseResult] = {}
     stable = True
     for node in game.nodes:
@@ -138,8 +164,14 @@ def swap_stability_report(
     infeasible for very large uniform games.  Single-link swaps are a strict
     subset of deviations, so a profile flagged unstable here is certainly not
     a Nash equilibrium, while a "stable" verdict is only evidence.
+
+    Like :func:`equilibrium_report` (and unlike the short-circuiting
+    :func:`is_pure_nash` / :func:`first_unstable_node`, where staging rows
+    for nodes that may never be probed would be wasted work), the full
+    per-node sweep stages a giant-batch row plan up front.
     """
     game.validate_profile(profile)
+    engine = _report_engine(game, profile, None, engine)
     responses: Dict[Node, BestResponseResult] = {}
     stable = True
     for node in game.nodes:

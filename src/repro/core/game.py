@@ -213,6 +213,17 @@ class BBCGame:
         lengths = set(self._link_lengths.values()) | {self._default_link_length}
         return len(lengths) == 1
 
+    @property
+    def has_uniform_weights(self) -> bool:
+        """Return ``True`` when every preference weight equals the default.
+
+        Together with :attr:`has_uniform_lengths` this licences the engine's
+        O(n) indexed-snapshot fast path: all parameter rows collapse to shared
+        constant rows instead of n² per-pair probes.
+        """
+        weights = set(self._weights.values()) | {self._default_weight}
+        return len(weights) == 1
+
     # ------------------------------------------------------------------ #
     # Strategies and profiles
     # ------------------------------------------------------------------ #

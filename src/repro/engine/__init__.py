@@ -87,6 +87,43 @@ and ``scripts/bench_speed.py --backend`` records the python-vs-numpy
 trajectory at n in {64, 256, 1024} (>=3x on Dijkstra-backed equilibrium
 checks at n=1024, floor enforced).
 
+**The giant-batch contract** (new in PR 6).  Both kernel families'
+multi-source forms additionally take a *per-row* forbidden mask — row ``i``
+of one call computes ``d_{G-u_i}(s_i, ·)`` — so a whole-profile report is
+one giant sweep instead of n small per-node batches.  Entry points that
+probe every node against one profile (:func:`repro.core.equilibrium_report`,
+:func:`repro.core.swap_stability_report`) stage the full row working set up
+front via :meth:`CostEngine.plan_report_prefetch`; the engine splits the
+plan into contiguous chunks of roughly
+:data:`~repro.engine.cost_engine.GIANT_CHUNK_TARGET_BYTES` and drains one
+chunk per masked multi-source traversal, lazily, as probes first touch a
+planned node.  The short-circuiting checkers (``is_pure_nash``,
+``first_unstable_node``) deliberately do not plan — rows staged for nodes
+never probed would be wasted.  Planning changes only *when* rows are
+computed, never their values: every giant-batch result is bit-identical to
+the per-node path and to the dict reference, pinned by
+``tests/test_backend_parity.py``.
+
+**The memory-budget contract** (new in PR 6, replacing the PR 5 row-count
+cap).  ``CostEngine(game, memory_budget_bytes=...)`` bounds the byte
+footprint of every row cache (environment, hop, derived, and combination
+rows), defaulting to :func:`~repro.engine.cost_engine.default_memory_budget`
+— 16 MiB floored, 256 MiB capped.  A
+:class:`~repro.engine.row_store.ChunkLedger` accounts bytes per node and
+groups the nodes filled by one giant traversal into one LRU *chunk* (rows
+from one sweep are views into one allocation, so only dropping the whole
+group actually releases memory).  Eviction is node-granular within the
+evicted chunk — a node's environment row and everything derived from it
+leave together, so the repair contract above never patches a derived row
+whose base was dropped — and never silent: ``stats["rows_evicted"]`` /
+``stats["chunks_evicted"]`` count it, ``stats["evicted_recomputes"]`` counts
+rows that re-entered by recomputation, and :meth:`CostEngine.cache_bytes` /
+:meth:`CostEngine.snapshot_stats` expose the live footprint.  An evicted row
+re-enters only through full recomputation (its version stamp is gone with
+it), so eviction composes with repair without a staleness hazard;
+``tests/test_row_cache.py`` drives a long budget-starved walk at n = 1024
+and pins bytes <= budget throughout with bit-identical results.
+
 **The vectorised scoring spec.**  When numpy is importable (optional — every
 path degrades to the original loops without it), scoring of SUM-objective
 unit-weight nodes whose disconnection penalty dominates every finite

@@ -22,26 +22,40 @@ of a fresh traversal.  A multi-node change, or a row that has fallen behind
 the edit log, resets to a full recompute.  Pass ``incremental=False`` to get
 the PR 3 drop-everything-but-the-mover behaviour (the baseline of
 ``scripts/bench_speed.py --incremental``).
+
+Memory is bounded in *bytes*, not rows: every cached row is charged to a
+:class:`~repro.engine.row_store.ChunkLedger` and whole LRU chunks are
+evicted once ``memory_budget_bytes`` is exceeded (see
+:meth:`CostEngine._evict_over_budget`).  On top of the cache sits the
+*giant-batch* plan: :meth:`CostEngine.plan_report_prefetch` records the
+whole working set of an equilibrium report up front, and the first probe of
+any planned node materialises its entire chunk — potentially hundreds of
+masked rows for dozens of nodes — in **one** multi-source, per-row-masked
+traversal instead of one small batch per node.
 """
 
 from __future__ import annotations
 
 import math
+import time
 import weakref
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..core.errors import InvalidProfile
 from ..core.objectives import Objective
 from ..core.profile import StrategyProfile
 from ..graphs.int_kernels import (
     bfs_hops_csr,
+    bfs_hops_csr_multi,
     build_csr,
     dijkstra_csr,
+    dijkstra_csr_multi,
     repair_dijkstra_csr,
     repair_hops_csr,
     scaled_float_row,
 )
 from .indexed import IndexedGame
+from .row_store import ChunkLedger
 
 try:  # Optional vectorised backend; every path below degrades gracefully.
     import numpy as _np
@@ -71,6 +85,46 @@ REPAIR_LOG_LIMIT = 128
 #: than the binary-heap Dijkstra the weighted games are up against.
 NUMPY_BACKEND_MIN_N = 128
 NUMPY_BACKEND_MIN_N_UNIFORM = 256
+
+#: Default memory budget bounds for the row cache (see
+#: :func:`default_memory_budget`).
+DEFAULT_BUDGET_FLOOR_BYTES = 16 * 2**20
+DEFAULT_BUDGET_CAP_BYTES = 256 * 2**20
+
+#: Target size of one giant-batch chunk: big enough to amortise the numpy
+#: per-round dispatch across dozens of nodes' rows, small enough that a
+#: chunk (and the traversal's transient frontier state) stays cache- and
+#: budget-friendly.  Chunks are additionally capped at a quarter of the
+#: engine's byte budget so the in-flight chunk can never crowd out the rest
+#: of the cache.
+GIANT_CHUNK_TARGET_BYTES = 64 * 2**20
+
+#: A report plan larger than this many masked rows (an unrestricted report
+#: at n ≈ 1500+ wants all n·(n-1) of them) is not planned at all — the
+#: per-node prefetch path handles it and the cache budget bounds the rest.
+PLAN_ROW_LIMIT = 2_000_000
+
+
+def default_memory_budget(n: int) -> int:
+    """Default row-cache budget in bytes for an ``n``-node game.
+
+    Re-expresses the PR 5 row-count cap (``max(8n, 2e6/n)`` rows of ``8n``
+    bytes each) in bytes, clamped to
+    [:data:`DEFAULT_BUDGET_FLOOR_BYTES`, :data:`DEFAULT_BUDGET_CAP_BYTES`].
+    The cap is what changes the large-``n`` story: at n = 16384 the row-count
+    cap admitted ~17 GB of rows, while 256 MiB holds a giant-batch report's
+    rolling working set with room to spare.
+    """
+    rows = max(8 * n, 2_000_000 // max(n, 1))
+    return min(max(rows * n * 8, DEFAULT_BUDGET_FLOOR_BYTES), DEFAULT_BUDGET_CAP_BYTES)
+
+
+def _payload_nbytes(row) -> int:
+    """Byte charge of one cached row (numpy's real nbytes, 8/entry for lists)."""
+    nbytes = getattr(row, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return 8 * len(row)
 
 
 def resolve_backend(backend, n: int, uniform_lengths: bool = False) -> str:
@@ -160,6 +214,16 @@ class CostEngine:
     numpy backend cached rows are float64/int64 arrays instead of lists;
     every cost, regret, and trace stays bit-identical across backends, and
     results keep plain Python float types.
+
+    ``memory_budget_bytes`` bounds the total bytes of cached rows
+    (:func:`default_memory_budget` when ``None``); crossing it evicts whole
+    least-recently-used chunks of nodes (:meth:`cache_bytes` /
+    ``stats["chunks_evicted"]`` observe it).  ``giant_batch`` (default
+    ``True``) enables :meth:`plan_report_prefetch`'s chunked giant
+    traversals; ``False`` keeps the PR 5 one-batch-per-node behaviour (the
+    baseline of ``scripts/bench_speed.py --backend``'s giant floors).
+    Neither knob changes any computed value — both paths are bit-identical
+    to the references.
     """
 
     def __init__(
@@ -168,6 +232,8 @@ class CostEngine:
         incremental: bool = True,
         vectorized: bool = True,
         backend: Optional[str] = None,
+        memory_budget_bytes: Optional[int] = None,
+        giant_batch: bool = True,
     ) -> None:
         # Only a weak back-reference to `game`: a strong one would pin the
         # WeakKeyDictionary entry in the per-game engine registry forever.
@@ -244,16 +310,33 @@ class CostEngine:
         # nothing re-stamps it — an equilibrium recheck after one deviation
         # then skips almost all scoring work.
         self._combo_cache: Dict[int, Tuple[int, tuple, object]] = {}
-        # Bound on cached rows (environment rows plus the derived through /
-        # substituted / hop rows, which are the same size): a full
-        # equilibrium check wants all rows live (total reuse), but at n in
-        # the hundreds that is O(n^3) floats, so cap the total and evict
-        # whole node entries oldest-first once exceeded.  The floor of 8n
-        # keeps any single probe's working set (up to 4 derived rows per
-        # first hop) cacheable.
-        n = self.indexed.n
-        self._max_env_rows = max(8 * n, 2_000_000 // max(n, 1))
-        self._env_rows_cached = 0
+        # Byte budget for cached rows (environment rows plus the derived
+        # through / substituted / hop rows and combination vectors): a full
+        # equilibrium check wants all rows live (total reuse), but at large n
+        # that is O(n^2) bytes per dozen nodes, so every cached payload is
+        # charged to the chunk ledger and whole least-recently-used chunks
+        # are evicted once the budget is crossed.  Nodes filled together by
+        # one giant-batch traversal share a chunk and are evicted together
+        # (their rows are views into one backing matrix, so only a full-chunk
+        # drop actually releases memory).
+        self.memory_budget_bytes = (
+            int(memory_budget_bytes)
+            if memory_budget_bytes is not None
+            else default_memory_budget(self.indexed.n)
+        )
+        self.giant_batch = bool(giant_batch)
+        self._ledger = ChunkLedger()
+        # Nodes that lost cached rows to *budget* eviction (not staleness):
+        # their next fill is a recompute the repair path could not have
+        # served, surfaced as stats["evicted_recomputes"].
+        self._evicted_nodes: Set[int] = set()
+        # Giant-batch report plan: valid only while _plan_version matches the
+        # snapshot version.  _plan_chunks holds (node, wanted first hops)
+        # groups sized against GIANT_CHUNK_TARGET_BYTES; _plan_chunk_of maps
+        # each planned node to its chunk index until the chunk runs.
+        self._plan_version = -1
+        self._plan_chunks: List[List[Tuple[int, List[int]]]] = []
+        self._plan_chunk_of: Dict[int, int] = {}
         # Nodes whose warm through dict was already counted into rows_reused
         # at the current version (so repeated probes do not inflate the stat).
         self._reuse_counted: set = set()
@@ -267,10 +350,35 @@ class CostEngine:
             "rows_reused": 0,
             "rows_repaired": 0,
             "rows_evicted": 0,
+            "chunks_evicted": 0,
+            "giant_batch_traversals": 0,
+            "giant_batch_rows": 0,
+            "evicted_recomputes": 0,
             "noop_syncs": 0,
             "local_syncs": 0,
             "full_syncs": 0,
         }
+        #: Wall-clock seconds spent inside batched traversal kernels (giant
+        #: chunks, per-node prefetch, all_costs sweeps) — the bench profile's
+        #: traversal-vs-scoring split reads this.
+        self.timings: Dict[str, float] = {"traversal_seconds": 0.0}
+
+    def cache_bytes(self) -> int:
+        """Current bytes of cached rows charged against the memory budget."""
+        return self._ledger.bytes
+
+    def snapshot_stats(self) -> Dict[str, float]:
+        """Return the counters plus the live cache/budget/timing gauges.
+
+        ``stats`` itself stays a plain mutable dict (call sites index and
+        reset it); this adds the point-in-time gauges the bench prints:
+        ``cache_bytes``, ``memory_budget_bytes``, and ``traversal_seconds``.
+        """
+        snapshot: Dict[str, float] = dict(self.stats)
+        snapshot["cache_bytes"] = self.cache_bytes()
+        snapshot["memory_budget_bytes"] = self.memory_budget_bytes
+        snapshot["traversal_seconds"] = self.timings["traversal_seconds"]
+        return snapshot
 
     def check_game(self, game) -> None:
         """Raise ``ValueError`` when this engine was built for a different game.
@@ -360,6 +468,9 @@ class CostEngine:
 
         self._label_strategies = raw
         self.version += 1
+        # Any real profile change invalidates an outstanding report plan:
+        # its wanted rows were computed against the previous snapshot.
+        self._clear_plan()
         if changed is not None:
             # Keep the in-neighbour view in lockstep with the CSR: only the
             # changed nodes' arcs moved.
@@ -403,12 +514,13 @@ class CostEngine:
                 for cache, entry in kept:
                     if entry is not None:
                         cache[changed_node] = (self.version, entry[1])
-                        self._env_rows_cached += len(entry[1])
+                        for row in entry[1].values():
+                            self._ledger.add(changed_node, _payload_nbytes(row))
                 if kept_combo is not None:
                     self._combo_cache[changed_node] = (
                         self.version, kept_combo[1], kept_combo[2]
                     )
-                    self._env_rows_cached += self._combo_units(kept_combo[2])
+                    self._ledger.add(changed_node, _payload_nbytes(kept_combo[2]))
         else:
             self.stats["full_syncs"] += 1
             self._clear_row_caches()
@@ -422,7 +534,8 @@ class CostEngine:
         self._sub_cache.clear()
         self._hop_cache.clear()
         self._combo_cache.clear()
-        self._env_rows_cached = 0
+        self._ledger.clear()
+        self._evicted_nodes.clear()
 
     def _rebuild_csr(self, changed: Optional[List[int]] = None) -> None:
         indexed = self.indexed
@@ -500,22 +613,46 @@ class CostEngine:
     def _row_caches(self) -> Tuple[Dict[int, Tuple[int, dict]], ...]:
         return (self._env_cache, self._through_cache, self._sub_cache, self._hop_cache)
 
-    def _combo_units(self, vector) -> int:
-        """Row-equivalent accounting weight of one combination cost vector."""
-        return 1 + len(vector) // max(self.indexed.n, 1)
-
     def _drop_node(self, u: int) -> int:
-        """Remove every cached row of masked node ``u``; returns rows dropped."""
+        """Remove every cached row of masked node ``u``; returns rows dropped.
+
+        Eviction is always node-granular: a node loses its environment rows
+        and every derived (through / substituted / hop / combination) row in
+        one stroke.  That is what keeps eviction repair-compatible — the
+        engine never holds a derived row whose environment base is gone, so
+        a later :meth:`_repair_node` can never patch values whose base row
+        was silently recomputed from a different version.
+        """
         dropped = 0
         for cache in self._row_caches():
             entry = cache.pop(u, None)
             if entry is not None:
                 dropped += len(entry[1])
-        combo = self._combo_cache.pop(u, None)
-        if combo is not None:
-            dropped += self._combo_units(combo[2])
-        self._env_rows_cached -= dropped
+        if self._combo_cache.pop(u, None) is not None:
+            dropped += 1
+        self._ledger.remove(u)
         return dropped
+
+    def _evict_over_budget(self, keep: Optional[Set[int]] = None) -> None:
+        """Evict whole least-recently-used chunks until back under budget.
+
+        The chunk(s) containing nodes in ``keep`` — the caller's in-flight
+        working set, typically the node being probed or the giant-batch
+        chunk just filled — are exempt, so the cache may transiently exceed
+        the budget by at most that working set (chunk sizing caps it at a
+        quarter of the budget).  Evicted nodes are remembered so their next
+        fill is surfaced as an eviction-forced recompute.
+        """
+        ledger = self._ledger
+        budget = self.memory_budget_bytes
+        while ledger.bytes > budget:
+            victims = ledger.lru_nodes(exempt=keep)
+            if victims is None:
+                break
+            for node in victims:
+                self.stats["rows_evicted"] += self._drop_node(node)
+                self._evicted_nodes.add(node)
+            self.stats["chunks_evicted"] += 1
 
     def _repairable(self, entry_version: int) -> bool:
         if not self.incremental:
@@ -535,27 +672,32 @@ class CostEngine:
         entry = self._env_cache.get(u)
         if entry is not None:
             if entry[0] == self.version:
+                self._ledger.touch(u)
                 return
             if self._repairable(entry[0]):
                 edits = self._pending_edits(u, entry[0])
                 if edits is not None:
                     self._repair_node(u, entry, edits)
+                    self._ledger.touch(u)
                     return
             self.stats["rows_evicted"] += self._drop_node(u)
             return
         # No environment rows: any stale derived rows are unusable on their
         # own (they cannot be repaired without the env rows they came from).
         dropped = 0
+        freed = 0
         for cache in (self._through_cache, self._sub_cache, self._hop_cache):
             stale = cache.get(u)
             if stale is not None and stale[0] != self.version:
                 del cache[u]
                 dropped += len(stale[1])
+                freed += sum(_payload_nbytes(row) for row in stale[1].values())
         combo = self._combo_cache.get(u)
         if combo is not None and combo[0] != self.version:
             del self._combo_cache[u]
-            dropped += self._combo_units(combo[2])
-        self._env_rows_cached -= dropped
+            dropped += 1
+            freed += _payload_nbytes(combo[2])
+        self._ledger.deduct(u, freed)
         self.stats["rows_evicted"] += dropped
 
     def _pending_edits(
@@ -611,7 +753,9 @@ class CostEngine:
                 return None
             if stale[0] != entry_version:  # pragma: no cover - defensive
                 del cache[u]
-                self._env_rows_cached -= len(stale[1])
+                self._ledger.deduct(
+                    u, sum(_payload_nbytes(row) for row in stale[1].values())
+                )
                 return None
             return stale[1]
 
@@ -718,7 +862,7 @@ class CostEngine:
                 self._combo_cache[u] = (version, combo[1], combo[2])
             else:
                 del self._combo_cache[u]
-                self._env_rows_cached -= self._combo_units(combo[2])
+                self._ledger.deduct(u, _payload_nbytes(combo[2]))
 
     def _update_combo(
         self,
@@ -776,6 +920,245 @@ class CostEngine:
         return positions
 
     # ------------------------------------------------------------------ #
+    # Giant-batch report plan
+    # ------------------------------------------------------------------ #
+    def _clear_plan(self) -> None:
+        self._plan_version = -1
+        self._plan_chunks = []
+        self._plan_chunk_of = {}
+
+    def plan_report_prefetch(self, profile: StrategyProfile, candidates=None) -> int:
+        """Plan one report's whole row working set for giant-batch execution.
+
+        ``candidates`` mirrors :func:`repro.core.equilibrium
+        .equilibrium_report`'s restriction dict ``{label: candidate
+        labels}``; ``None`` (or a missing node) means every other node.  Per
+        node the wanted first hops are its candidates plus its current arcs
+        — exactly the set the per-node prefetch in ``_resolve_scorer`` would
+        request — grouped into byte-bounded chunks.  The first subsequent
+        probe of any planned node (via :meth:`env_row` or
+        :meth:`prefetch_env_rows`, on either backend) computes its entire
+        chunk in one multi-source per-row-masked traversal.
+
+        Returns the number of planned rows; 0 when planning is off
+        (``giant_batch=False``), the plan would exceed
+        :data:`PLAN_ROW_LIMIT`, or there is nothing to plan.  Rows, costs,
+        and traces are bit-identical with or without a plan — only *when*
+        rows are computed changes.  The plan dies with the snapshot: any
+        profile change clears it.
+        """
+        self.sync(profile)
+        self._clear_plan()
+        if not self.giant_batch:
+            return 0
+        indexed = self.indexed
+        index = indexed.index
+        n = indexed.n
+        strategies = self._strategies
+        pairs: List[Tuple[int, List[int]]] = []
+        total = 0
+        for u, label in enumerate(indexed.labels):
+            raw = candidates.get(label) if candidates is not None else None
+            if raw is None:
+                wanted = [a for a in range(n) if a != u]
+            else:
+                wanted = []
+                for target in raw:
+                    a = index.get(target)
+                    if a is not None and a != u:
+                        wanted.append(a)
+            for a in strategies[u]:
+                wanted.append(a)
+            hops = list(dict.fromkeys(wanted))
+            if not hops:
+                continue
+            total += len(hops)
+            if total > PLAN_ROW_LIMIT:
+                self._clear_plan()
+                return 0
+            pairs.append((u, hops))
+        self._install_plan(pairs)
+        return total
+
+    def _install_plan(self, pairs: List[Tuple[int, List[int]]]) -> None:
+        """Group the planned ``(node, hops)`` pairs into byte-bounded chunks.
+
+        A chunk targets :data:`GIANT_CHUNK_TARGET_BYTES` of stored rows
+        (capped at a quarter of the byte budget so a just-filled chunk never
+        forces the rest of the cache out); weighted games additionally cap
+        the rows per traversal so the Dijkstra kernel's transient per-round
+        ``(rows, edges)`` candidate matrix stays bounded.  A single node's
+        rows never split across chunks, so one oversized node simply gets a
+        chunk to itself.
+        """
+        indexed = self.indexed
+        n = indexed.n
+        uniform = indexed.uniform_lengths
+        # Stored bytes per row: env float row, plus the hop row kept for
+        # repair on uniform games (int16 from the fused numpy kernel, list
+        # ints on the python fallback — the estimate only shapes chunks; the
+        # ledger charges actual payload bytes).
+        if uniform:
+            per_row = 10 * n if self._np_traversal else 16 * n
+        else:
+            per_row = 8 * n
+        limit = max(
+            per_row, min(GIANT_CHUNK_TARGET_BYTES, self.memory_budget_bytes // 4)
+        )
+        row_cap = None
+        if not uniform:
+            # The Dijkstra kernel's per-round cost is dominated by the
+            # (rows, frontier edges) candidate matrix, and converged rows
+            # keep paying it until the whole chunk settles — so unlike BFS
+            # (bit-parallel, flat per-row cost in the chunk size), weighted
+            # chunks get *cheaper* per row as they shrink, down to dispatch
+            # overhead.  Measured on 2-out-degree games at n in {1k, 4k},
+            # 32-48 rows per traversal is the sweet spot (at or below the
+            # per-node batch cost); scale down as the edge count grows.
+            edges = max(1, len(self._indices))
+            row_cap = max(12, min(48, (1 << 19) // edges))
+        chunks: List[List[Tuple[int, List[int]]]] = []
+        current: List[Tuple[int, List[int]]] = []
+        current_bytes = 0
+        current_rows = 0
+        for u, hops in pairs:
+            nbytes = len(hops) * per_row
+            if current and (
+                current_bytes + nbytes > limit
+                or (row_cap is not None and current_rows + len(hops) > row_cap)
+            ):
+                chunks.append(current)
+                current, current_bytes, current_rows = [], 0, 0
+            current.append((u, hops))
+            current_bytes += nbytes
+            current_rows += len(hops)
+        if current:
+            chunks.append(current)
+        self._plan_chunks = chunks
+        self._plan_chunk_of = {
+            u: i for i, chunk in enumerate(chunks) for u, _ in chunk
+        }
+        self._plan_version = self.version
+
+    def _maybe_run_plan(self, u: int) -> None:
+        """Run ``u``'s planned chunk now, if a current-version plan holds one."""
+        if self._plan_version != self.version:
+            return
+        chunk_index = self._plan_chunk_of.get(u)
+        if chunk_index is None:
+            return
+        chunk = self._plan_chunks[chunk_index]
+        self._plan_chunks[chunk_index] = []
+        for member, _ in chunk:
+            self._plan_chunk_of.pop(member, None)
+        self._run_plan_chunk(u, chunk)
+
+    def _run_plan_chunk(self, u: int, chunk: List[Tuple[int, List[int]]]) -> None:
+        """Fill every missing planned row of ``chunk`` in one giant traversal.
+
+        All members' missing ``(mask, source)`` pairs go through a single
+        multi-source per-row-masked kernel call; the members are then
+        grouped into one ledger chunk so they age and evict together.  Rows
+        already cached (or repaired current by :meth:`_ensure_current`) are
+        left untouched, which keeps the fill bit-identical to the per-row
+        path.
+        """
+        indexed = self.indexed
+        n = indexed.n
+        uniform = indexed.uniform_lengths
+        version = self.version
+        row_dicts: Dict[int, Dict[int, Row]] = {}
+        hop_dicts: Dict[int, Dict[int, List[int]]] = {}
+        work: List[Tuple[int, int]] = []
+        for member, hops in chunk:
+            self._ensure_current(member)
+            entry = self._env_cache.get(member)
+            if entry is None:
+                rows: Dict[int, Row] = {}
+                self._env_cache[member] = (version, rows)
+            else:
+                rows = entry[1]
+            row_dicts[member] = rows
+            if uniform:
+                hop_entry = self._hop_cache.get(member)
+                if hop_entry is None:
+                    hop_rows: Dict[int, List[int]] = {}
+                    self._hop_cache[member] = (version, hop_rows)
+                else:
+                    hop_rows = hop_entry[1]
+                hop_dicts[member] = hop_rows
+            for a in hops:
+                if a not in rows:
+                    work.append((member, a))
+        members = [member for member, _ in chunk]
+        if work:
+            sources = [a for _, a in work]
+            masks = [member for member, _ in work]
+            start = time.perf_counter()
+            scaled = None
+            if self._np_traversal:
+                if uniform:
+                    # Fused form: the kernel assembles the scaled float rows
+                    # from its narrow internal counter, saving a full pass
+                    # over the int64 hop matrix per giant chunk.
+                    matrix, scaled = _npk.bfs_hops_csr_multi(
+                        self._indptr_np, self._indices_np, n, sources, masks,
+                        scale_unit=indexed.unit_length,
+                    )
+                else:
+                    exact = self._edge_lengths_exact_np
+                    lengths = exact if exact is not None else self._edge_lengths_np
+                    matrix = _npk.dijkstra_csr_multi(
+                        self._indptr_np, self._indices_np, lengths, n, sources, masks
+                    )
+                    if exact is not None:
+                        matrix = _npk.int_to_float_rows(matrix)
+            elif uniform:
+                matrix = bfs_hops_csr_multi(
+                    self._indptr, self._indices, n, sources, masks
+                )
+                scaled = [
+                    scaled_float_row(hop_row, indexed.unit_length)
+                    for hop_row in matrix
+                ]
+            else:
+                matrix = dijkstra_csr_multi(
+                    self._indptr, self._indices, self._edge_lengths, n,
+                    sources, masks,
+                )
+            self.timings["traversal_seconds"] += time.perf_counter() - start
+            per_node_bytes: Dict[int, int] = {}
+            refilled = set()
+            # Every stored row has length n, so the per-row byte cost is one
+            # computation, not one per row.
+            if uniform:
+                nbytes = _payload_nbytes(matrix[0]) + _payload_nbytes(scaled[0])
+            else:
+                nbytes = _payload_nbytes(matrix[0])
+            for i, (member, a) in enumerate(work):
+                if uniform:
+                    hop_dicts[member][a] = matrix[i]
+                    row = scaled[i]
+                else:
+                    row = matrix[i]
+                row_dicts[member][a] = row
+                per_node_bytes[member] = per_node_bytes.get(member, 0) + nbytes
+                if member in self._evicted_nodes:
+                    refilled.add(member)
+                    self.stats["evicted_recomputes"] += 1
+            self._evicted_nodes.difference_update(refilled)
+            for member, nbytes in per_node_bytes.items():
+                self._ledger.add(member, nbytes)
+            self.stats["rows_computed"] += len(work)
+            self.stats["giant_batch_traversals"] += 1
+            self.stats["giant_batch_rows"] += len(work)
+        # One ledger chunk for the whole batch, exempt from the eviction its
+        # own bytes may trigger.
+        self._ledger.group(members)
+        if self._ledger.bytes > self.memory_budget_bytes:
+            self._evict_over_budget(keep=set(members))
+
+    # ------------------------------------------------------------------ #
     # Distance rows
     # ------------------------------------------------------------------ #
     def _compute_row(self, source: int, forbidden: int) -> Row:
@@ -830,6 +1213,7 @@ class CostEngine:
         repaired in place before use.
         """
         self._require_sync()
+        self._maybe_run_plan(u)
         self._ensure_current(u)
         entry = self._env_cache.get(u)
         if entry is None:
@@ -860,7 +1244,7 @@ class CostEngine:
                     )
                     row = scaled_float_row(hop_row, indexed.unit_length)
                 hop_rows[first_hop] = hop_row
-                added = 2
+                added = _payload_nbytes(row) + _payload_nbytes(hop_row)
             else:
                 if self._np_traversal:
                     row = self._dijkstra_row_np(first_hop, u)
@@ -873,28 +1257,18 @@ class CostEngine:
                         first_hop,
                         u,
                     )
-                added = 1
+                added = _payload_nbytes(row)
             rows[first_hop] = row
             self.stats["rows_computed"] += 1
-            self._env_rows_cached += added
-            if self._env_rows_cached > self._max_env_rows:
-                self._evict_env_rows(keep=u)
+            if u in self._evicted_nodes:
+                self._evicted_nodes.discard(u)
+                self.stats["evicted_recomputes"] += 1
+            self._ledger.add(u, added)
+            if self._ledger.bytes > self.memory_budget_bytes:
+                self._evict_over_budget(keep={u})
         else:
             self.stats["rows_reused"] += 1
         return row
-
-    def _evict_env_rows(self, keep: int) -> None:
-        """Drop whole node entries, oldest-inserted first, until under the cap.
-
-        The entry for ``keep`` (the node currently being probed) is exempt so
-        an in-flight probe never evicts its own working set.
-        """
-        for node in list(self._env_cache):
-            if self._env_rows_cached <= self._max_env_rows:
-                break
-            if node == keep:
-                continue
-            self.stats["rows_evicted"] += self._drop_node(node)
 
     def prefetch_env_rows(self, u: int, first_hops) -> None:
         """Compute every missing ``d_{G-u}`` row of ``first_hops`` in one batch.
@@ -907,10 +1281,15 @@ class CostEngine:
         overhead that makes single-source array traversals lose to the list
         kernels on sparse graphs.  Cached rows are byte-identical to the
         one-at-a-time path, so this only changes *when* rows are computed.
+
+        When a giant-batch report plan covers ``u``, the node's whole
+        planned chunk runs first (on either backend); the per-node batch
+        below then only mops up hops the plan did not cover.
         """
+        self._require_sync()
+        self._maybe_run_plan(u)
         if not self._np_traversal:
             return
-        self._require_sync()
         self._ensure_current(u)
         entry = self._env_cache.get(u)
         if entry is None:
@@ -922,6 +1301,8 @@ class CostEngine:
         if len(missing) < 2:
             return
         indexed = self.indexed
+        added = 0
+        start = time.perf_counter()
         if indexed.uniform_lengths:
             hop_entry = self._hop_cache.get(u)
             if hop_entry is None:
@@ -936,7 +1317,7 @@ class CostEngine:
             for i, a in enumerate(missing):
                 hop_rows[a] = matrix[i]
                 rows[a] = scaled[i]
-            added = 2 * len(missing)
+                added += _payload_nbytes(matrix[i]) + _payload_nbytes(scaled[i])
         else:
             exact = self._edge_lengths_exact_np
             lengths = exact if exact is not None else self._edge_lengths_np
@@ -947,11 +1328,15 @@ class CostEngine:
                 matrix = _npk.int_to_float_rows(matrix)
             for i, a in enumerate(missing):
                 rows[a] = matrix[i]
-            added = len(missing)
+                added += _payload_nbytes(matrix[i])
+        self.timings["traversal_seconds"] += time.perf_counter() - start
         self.stats["rows_computed"] += len(missing)
-        self._env_rows_cached += added
-        if self._env_rows_cached > self._max_env_rows:
-            self._evict_env_rows(keep=u)
+        if u in self._evicted_nodes:
+            self._evicted_nodes.discard(u)
+            self.stats["evicted_recomputes"] += len(missing)
+        self._ledger.add(u, added)
+        if self._ledger.bytes > self.memory_budget_bytes:
+            self._evict_over_budget(keep={u})
 
     def through_rows(self, u: int) -> Dict[int, Row]:
         """Return the current-version through-row dict for masked node ``u``.
@@ -995,21 +1380,36 @@ class CostEngine:
             rows = entry[1]
         return rows
 
-    def _note_derived_row(self, u: int, cache_name: str, rows: Dict[int, Row]) -> None:
-        """Account one newly materialised derived row against the memory cap.
+    def _note_derived_row(
+        self, u: int, cache_name: str, rows: Dict[int, Row], row
+    ) -> None:
+        """Charge one newly materialised derived row against the byte budget.
 
         ``rows`` is the scorer's dict; if eviction already detached it from
         the engine cache the row lives outside the cache (garbage once the
-        scorer dies) and must not be counted, or the counter would drift above
+        scorer dies) and must not be charged, or the ledger would drift above
         the caches' real contents and thrash eviction for the whole version.
         """
         cache = self._through_cache if cache_name == "through" else self._sub_cache
         entry = cache.get(u)
         if entry is None or entry[1] is not rows:
             return
-        self._env_rows_cached += 1
-        if self._env_rows_cached > self._max_env_rows:
-            self._evict_env_rows(keep=u)
+        self._ledger.add(u, _payload_nbytes(row))
+        if self._ledger.bytes > self.memory_budget_bytes:
+            self._evict_over_budget(keep={u})
+
+    def _note_derived_batch(
+        self, u: int, cache_name: str, rows: Dict[int, Row], nbytes: int
+    ) -> None:
+        """Batch form of :meth:`_note_derived_row`: one ledger charge and one
+        budget check for a whole batch of equal-shaped rows."""
+        cache = self._through_cache if cache_name == "through" else self._sub_cache
+        entry = cache.get(u)
+        if entry is None or entry[1] is not rows:
+            return
+        self._ledger.add(u, nbytes)
+        if self._ledger.bytes > self.memory_budget_bytes:
+            self._evict_over_budget(keep={u})
 
     def full_row(self, u: int) -> Row:
         """Return full-graph distances from int node ``u`` (no masking)."""
@@ -1041,29 +1441,45 @@ class CostEngine:
             return dict(cached[1])
         indexed = self.indexed
         if self._np_traversal:
-            # One batched traversal for all n unmasked rows; each row is
-            # converted back to the list form _aggregate_row expects, so the
-            # costs (and their plain-float types) match the per-row path.
-            sources = list(range(indexed.n))
-            if indexed.uniform_lengths:
-                matrix = _npk.scaled_float_rows(
-                    _npk.bfs_hops_csr_multi(
-                        self._indptr_np, self._indices_np, indexed.n, sources
-                    ),
-                    indexed.unit_length,
+            # Batched traversals for all n unmasked rows, sliced so one
+            # slice's row matrix stays around GIANT_CHUNK_TARGET_BYTES (a
+            # single n-source batch at n = 16384 would be a 2 GiB matrix);
+            # each row is converted back to the list form _aggregate_row
+            # expects, so the costs (and their plain-float types) match the
+            # per-row path — multi-kernel rows do not depend on how the
+            # sources are batched.
+            n = indexed.n
+            uniform = indexed.uniform_lengths
+            per_row = 16 * n if uniform else 8 * n
+            chunk_rows = max(1, min(n, GIANT_CHUNK_TARGET_BYTES // per_row))
+            if not uniform:
+                edges = max(1, len(self._indices))
+                chunk_rows = min(
+                    chunk_rows, max(16, GIANT_CHUNK_TARGET_BYTES // (8 * edges))
                 )
-            else:
-                exact = self._edge_lengths_exact_np
-                lengths = exact if exact is not None else self._edge_lengths_np
-                matrix = _npk.dijkstra_csr_multi(
-                    self._indptr_np, self._indices_np, lengths, indexed.n, sources
-                )
-                if exact is not None:
-                    matrix = _npk.int_to_float_rows(matrix)
-            costs = {
-                label: self._aggregate_row(u, matrix[u].tolist())
-                for u, label in enumerate(indexed.labels)
-            }
+            labels = indexed.labels
+            costs = {}
+            for lo in range(0, n, chunk_rows):
+                sources = list(range(lo, min(n, lo + chunk_rows)))
+                start = time.perf_counter()
+                if uniform:
+                    matrix = _npk.scaled_float_rows(
+                        _npk.bfs_hops_csr_multi(
+                            self._indptr_np, self._indices_np, n, sources
+                        ),
+                        indexed.unit_length,
+                    )
+                else:
+                    exact = self._edge_lengths_exact_np
+                    lengths = exact if exact is not None else self._edge_lengths_np
+                    matrix = _npk.dijkstra_csr_multi(
+                        self._indptr_np, self._indices_np, lengths, n, sources
+                    )
+                    if exact is not None:
+                        matrix = _npk.int_to_float_rows(matrix)
+                self.timings["traversal_seconds"] += time.perf_counter() - start
+                for j, u in enumerate(sources):
+                    costs[labels[u]] = self._aggregate_row(u, matrix[j].tolist())
         else:
             costs = {
                 label: self._aggregate_row(u, self.full_row(u))
@@ -1180,8 +1596,79 @@ class StrategyScorer:
             else:
                 row = [hop_length + d for d in env]
             self._through[first_hop] = row
-            self.engine._note_derived_row(self.u, "through", self._through)
+            self.engine._note_derived_row(self.u, "through", self._through, row)
         return row
+
+    def _target_index(self) -> "_np.ndarray":
+        if self._target_idx is None:
+            targets = self.targets
+            if len(targets) == self.engine.indexed.n - 1:
+                # Complete target set: targets are exactly every node but
+                # u, in increasing id order (IndexedGame builds target
+                # rows sorted), so the index vector is an arange with a
+                # gap at u — O(n) with no per-element Python boxing,
+                # which matters when n is in the tens of thousands.
+                idx = _np.arange(len(targets), dtype=_np.int64)
+                idx[self.u:] += 1
+                self._target_idx = idx
+            else:
+                self._target_idx = _np.asarray(targets, dtype=_np.int64)
+        return self._target_idx
+
+    def _build_sub_rows(self, missing: List[int]):
+        """Build and cache every ``missing`` sub row in one broadcast.
+
+        Numpy fast-batch path only (returns ``None`` otherwise): each entry
+        is the same single IEEE sum and the same penalty test as
+        :meth:`_sub_row`'s, so the rows (stored as views of the returned
+        ``(len(missing), targets)`` batch) are bit-identical — only the
+        numpy dispatch count changes.
+        """
+        engine = self.engine
+        if not missing or not self.fast_batch or not engine._np_traversal:
+            return None
+        u = self.u
+        targets = self.targets
+        # One sync/plan/version check for the whole batch; the prefetch that
+        # preceded this call left every row resident, so the per-row work is
+        # a dict hit (env_row stays the fallback for anything evicted in
+        # between).
+        engine._require_sync()
+        engine._maybe_run_plan(u)
+        engine._ensure_current(u)
+        entry = engine._env_cache.get(u)
+        cached = entry[1] if entry is not None else {}
+        hits = 0
+
+        def env_for(a):
+            nonlocal hits
+            env = cached.get(a)
+            if env is None:
+                return engine.env_row(u, a)
+            hits += 1
+            return env
+
+        envs = _np.stack([env_for(a) for a in missing])
+        if len(targets) == engine.indexed.n - 1:
+            # Complete target set: dropping column u is two contiguous
+            # block copies, far cheaper than a fancy-index gather of
+            # 99.9% of the matrix.
+            batch = _np.concatenate((envs[:, :u], envs[:, u + 1:]), axis=1)
+        else:
+            batch = envs[:, self._target_index()]
+        engine.stats["rows_reused"] += hits
+        hop_lengths = _np.array(
+            [self._length_row[a] for a in missing], dtype=_np.float64
+        )
+        batch += hop_lengths[:, None]
+        batch[_np.isinf(batch)] = self.penalty
+        sub = self._sub
+        for j, a in enumerate(missing):
+            sub[a] = batch[j]
+        engine._note_derived_batch(
+            self.u, "sub", sub, len(missing) * _payload_nbytes(batch[0])
+        )
+        return batch
 
     def _sub_row(self, first_hop: int) -> Row:
         engine = self.engine
@@ -1192,13 +1679,11 @@ class StrategyScorer:
             # (`l(u, a) + d`), and the penalty substitution the same
             # elementwise test, so the slice is bit-identical to the list
             # path.  (Repairs patch sub rows from the env row directly too.)
-            if self._target_idx is None:
-                self._target_idx = _np.asarray(self.targets, dtype=_np.int64)
             env = engine.env_row(self.u, first_hop)
-            row = self._length_row[first_hop] + env[self._target_idx]
+            row = self._length_row[first_hop] + env[self._target_index()]
             row[_np.isinf(row)] = self.penalty
             self._sub[first_hop] = row
-            engine._note_derived_row(self.u, "sub", self._sub)
+            engine._note_derived_row(self.u, "sub", self._sub, row)
             return row
         through = self._through_row(first_hop)
         penalty = self.penalty
@@ -1207,7 +1692,7 @@ class StrategyScorer:
         if self.fast_batch:
             row = _np.array(row)
         self._sub[first_hop] = row
-        self.engine._note_derived_row(self.u, "sub", self._sub)
+        self.engine._note_derived_row(self.u, "sub", self._sub, row)
         return row
 
     def score_combinations(self, candidates: List[int], size: int):
@@ -1230,16 +1715,23 @@ class StrategyScorer:
         if cached is not None and cached[0] == self._version and cached[1] == key:
             return _readonly_view(cached[2])
         sub = self._sub
-        engine.prefetch_env_rows(self.u, (a for a in candidates if a not in sub))
-        rows = []
-        for a in candidates:
-            row = sub.get(a)
-            if row is None:
-                row = self._sub_row(a)
-            rows.append(row)
-        if not rows:
-            return _np.empty(0)
-        matrix = _np.stack(rows)
+        missing = [a for a in candidates if a not in sub]
+        engine.prefetch_env_rows(self.u, iter(missing))
+        batch = self._build_sub_rows(missing)
+        if batch is not None and len(missing) == len(candidates):
+            # Every candidate was missing, so the batch rows are already the
+            # combination matrix in candidate order — no re-stack.
+            matrix = batch
+        else:
+            rows = []
+            for a in candidates:
+                row = sub.get(a)
+                if row is None:
+                    row = self._sub_row(a)
+                rows.append(row)
+            if not rows:
+                return _np.empty(0)
+            matrix = _np.stack(rows)
         if size == 1:
             costs = matrix.sum(axis=1)
         else:
@@ -1247,11 +1739,11 @@ class StrategyScorer:
             costs = _np.minimum(matrix[left], matrix[right]).sum(axis=1)
         previous = engine._combo_cache.get(self.u)
         if previous is not None:
-            engine._env_rows_cached -= engine._combo_units(previous[2])
+            engine._ledger.deduct(self.u, _payload_nbytes(previous[2]))
         engine._combo_cache[self.u] = (self._version, key, costs)
-        engine._env_rows_cached += engine._combo_units(costs)
-        if engine._env_rows_cached > engine._max_env_rows:
-            engine._evict_env_rows(keep=self.u)
+        engine._ledger.add(self.u, _payload_nbytes(costs))
+        if engine._ledger.bytes > engine.memory_budget_bytes:
+            engine._evict_over_budget(keep={self.u})
         return _readonly_view(costs)
 
     def score(self, strategy: Iterable[Node]) -> float:
@@ -1269,9 +1761,11 @@ class StrategyScorer:
             sub = self._sub
             strategy = list(strategy)
             if self.engine._np_traversal:
-                self.engine.prefetch_env_rows(
-                    self.u, (a for a in strategy if a not in sub)
+                missing = list(
+                    dict.fromkeys(a for a in strategy if a not in sub)
                 )
+                self.engine.prefetch_env_rows(self.u, iter(missing))
+                self._build_sub_rows(missing)
             rows = []
             for a in strategy:
                 row = sub.get(a)

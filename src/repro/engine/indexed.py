@@ -74,20 +74,47 @@ class IndexedGame:
         self.length_rows: List[List[float]] = []
         self.target_rows: List[List[int]] = []
         self.target_weight_rows: List[List[float]] = []
-        for u, source in enumerate(self.labels):
-            weights = [game.weight(source, target) for target in self.labels]
-            weights[u] = 0.0
-            self.length_rows.append(
-                [game.link_length(source, target) for target in self.labels]
+        if self.n >= 2 and game.has_uniform_weights and game.has_uniform_lengths:
+            # O(n) snapshot for constant-parameter games (every uniform game):
+            # all rows are known without probing the n^2 node pairs, and the
+            # constant length/weight rows can be *shared* across nodes — the
+            # rows are read-only everywhere downstream, so aliasing one list n
+            # times is safe and drops the snapshot from the gigabyte scale
+            # that made n ~ 16k games unconstructible.  Only `target_rows`
+            # differ per node (each excludes its own index) and stay distinct.
+            length = self.unit_length
+            shared_lengths = [length] * self.n
+            self.length_rows = [shared_lengths] * self.n
+            weight = game.weight(self.labels[0], self.labels[1])
+            if weight > 0:
+                base = list(range(self.n))
+                self.target_rows = [base[:u] + base[u + 1 :] for u in range(self.n)]
+                shared_weights = [weight] * (self.n - 1)
+                self.target_weight_rows = [shared_weights] * self.n
+            else:
+                empty: List[int] = []
+                self.target_rows = [empty] * self.n
+                self.target_weight_rows = [empty] * self.n
+            self.unit_weight_nodes: List[bool] = [weight == 1.0 or weight <= 0] * self.n
+            lengths_integral = float(length).is_integer()
+        else:
+            for u, source in enumerate(self.labels):
+                weights = [game.weight(source, target) for target in self.labels]
+                weights[u] = 0.0
+                self.length_rows.append(
+                    [game.link_length(source, target) for target in self.labels]
+                )
+                targets = [v for v, w in enumerate(weights) if v != u and w > 0]
+                self.target_rows.append(targets)
+                self.target_weight_rows.append([weights[v] for v in targets])
+            # Whether each node's positive weights are all exactly 1.0, computed
+            # once here so per-probe scorer construction is O(1) in n.
+            self.unit_weight_nodes = [
+                all(w == 1.0 for w in row) for row in self.target_weight_rows
+            ]
+            lengths_integral = all(
+                float(length).is_integer() for row in self.length_rows for length in row
             )
-            targets = [v for v, w in enumerate(weights) if v != u and w > 0]
-            self.target_rows.append(targets)
-            self.target_weight_rows.append([weights[v] for v in targets])
-        # Whether each node's positive weights are all exactly 1.0, computed
-        # once here so per-probe scorer construction is O(1) in n.
-        self.unit_weight_nodes: List[bool] = [
-            all(w == 1.0 for w in row) for row in self.target_weight_rows
-        ]
         # When labels already are 0..n-1 (every uniform game), label->int
         # translation is the identity and scorers can skip it entirely.  The
         # type check matters: floats/bools numerically equal to 0..n-1 would
@@ -95,9 +122,6 @@ class IndexedGame:
         self.identity_labels = all(
             type(label) is int for label in self.labels
         ) and self.labels == tuple(range(self.n))
-        lengths_integral = all(
-            float(length).is_integer() for row in self.length_rows for length in row
-        )
         # With integer-valued lengths every shortest distance is an exact
         # integer; as long as the largest one ((n-1) arcs of the maximum
         # length) stays below 2**53, int64 and float64 agree bit for bit.

@@ -14,6 +14,11 @@ flat lists:
   heap of plain ``(dist, node)`` pairs — ints always compare, so no tiebreak
   counter is needed — and edge lengths aligned with ``indices`` instead of
   per-edge attribute-dict lookups;
+* ``bfs_hops_csr_multi`` / ``dijkstra_csr_multi`` — the batched reference
+  forms: one row per source, each with its *own* ``forbidden`` mask (row
+  ``i`` computes ``d_{G-u_i}`` from ``sources[i]``), implemented as plain
+  loops over the single-source kernels so the vectorised batched kernels in
+  :mod:`repro.graphs.int_kernels_np` have a bit-identical reference;
 * ``repair_hops_csr`` / ``repair_dijkstra_csr`` *repair* a cached distance
   row in place after some nodes' out-arcs changed, by bounded re-relaxation
   of the affected region instead of a fresh traversal (dynamic SSSP in the
@@ -88,6 +93,70 @@ def bfs_hops_csr(
     if 0 <= forbidden < n:
         dist[forbidden] = UNREACHED
     return dist
+
+
+def per_source_forbidden(sources, forbidden) -> List[int]:
+    """Normalise the batched kernels' ``forbidden`` argument to one mask per row.
+
+    ``forbidden`` is either a single int shared by every source (the original
+    multi-kernel contract; ``-1`` = no mask) or a sequence aligned with
+    ``sources`` so row ``i`` computes ``d_{G-u_i}`` from ``sources[i]``.
+    ``forbidden[i] == sources[i]`` is contradictory and rejected, exactly like
+    the single-source kernels reject it.
+    """
+    try:
+        masks = [int(f) for f in forbidden]
+    except TypeError:
+        return [int(forbidden)] * len(sources)
+    if len(masks) != len(sources):
+        raise ValueError(
+            f"per-row forbidden masks ({len(masks)}) do not align with "
+            f"sources ({len(sources)})"
+        )
+    return masks
+
+
+def bfs_hops_csr_multi(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    n: int,
+    sources: Sequence[int],
+    forbidden=-1,
+) -> List[List[int]]:
+    """Batched reference BFS: one :func:`bfs_hops_csr` row per source.
+
+    ``forbidden`` is a shared int or a per-row sequence (row ``i`` masks
+    ``forbidden[i]``); see :func:`per_source_forbidden`.  This is the
+    bit-identical reference for the vectorised
+    :func:`repro.graphs.int_kernels_np.bfs_hops_csr_multi`, and what the cost
+    engine's giant-batch report prefetch runs on the python backend — a plain
+    loop, so batching changes *when* rows are computed, never their values.
+    """
+    masks = per_source_forbidden(sources, forbidden)
+    return [
+        bfs_hops_csr(indptr, indices, n, source, mask)
+        for source, mask in zip(sources, masks)
+    ]
+
+
+def dijkstra_csr_multi(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    lengths: Sequence[float],
+    n: int,
+    sources: Sequence[int],
+    forbidden=-1,
+) -> List[List[float]]:
+    """Batched reference Dijkstra: one :func:`dijkstra_csr` row per source.
+
+    The weighted counterpart of :func:`bfs_hops_csr_multi`, with the same
+    shared-or-per-row ``forbidden`` contract.
+    """
+    masks = per_source_forbidden(sources, forbidden)
+    return [
+        dijkstra_csr(indptr, indices, lengths, n, source, mask)
+        for source, mask in zip(sources, masks)
+    ]
 
 
 def dijkstra_csr(

@@ -16,10 +16,13 @@ per-edge work happens inside numpy's C loops:
   ``int64`` dtype) keep every label in exact int space; float lengths
   converge to the same fixed point as the heap Dijkstra (see below);
 * :func:`bfs_hops_csr_multi` / :func:`dijkstra_csr_multi` — the batched
-  forms: one traversal computes the rows of many sources under one mask,
-  amortising the per-round dispatch overhead that otherwise dominates on
-  sparse graphs (a deviation probe wants every candidate first-hop row of
-  one masked node at once; ``all_costs`` wants all ``n`` unmasked rows);
+  forms: one traversal computes the rows of many sources, under one shared
+  mask or under **per-row masks** (row ``i`` computes ``d_{G-u_i}`` from
+  ``sources[i]``), amortising the per-round dispatch overhead that otherwise
+  dominates on sparse graphs (a deviation probe wants every candidate
+  first-hop row of one masked node at once; ``all_costs`` wants all ``n``
+  unmasked rows; a whole equilibrium report wants the rows of *every*
+  probed node in one giant sweep);
 * :func:`repair_hops_csr_np` / :func:`repair_dijkstra_csr_np` — the dynamic
   repair kernels of PR 4 with both phases vectorised: the affected region
   (old distances that lost support) is marked by frontier sweeps over tight
@@ -196,32 +199,77 @@ def dijkstra_csr_np(
     return dist
 
 
+def _per_row_masks(sources: np.ndarray, n: int, forbidden, kernel: str):
+    """Normalise ``forbidden`` for the batched kernels.
+
+    Returns ``(scalar_mask, per_row_array)``: exactly one of the two is
+    active — ``per_row_array`` is ``None`` for the original shared-mask form
+    (including a per-row sequence whose entries all agree, which collapses to
+    the scalar path), otherwise an int64 array aligned with ``sources`` where
+    row ``i`` masks ``per_row_array[i]`` (negative = unmasked row).  The
+    contradictory ``forbidden[i] == sources[i]`` is rejected like the
+    single-source kernels reject it.
+    """
+    if isinstance(forbidden, (int, np.integer)):
+        scalar = int(forbidden)
+        if scalar >= 0 and bool(np.any(sources == scalar)):
+            raise ValueError(f"the {kernel} source cannot be the forbidden node")
+        return scalar, None
+    forb = np.asarray(forbidden, dtype=np.int64)
+    if forb.shape != sources.shape:
+        raise ValueError(
+            f"per-row forbidden masks {forb.shape} do not align with "
+            f"sources {sources.shape}"
+        )
+    if bool(np.any((forb >= 0) & (forb == sources))):
+        raise ValueError(f"the {kernel} source cannot be the forbidden node")
+    if forb.size and bool(np.all(forb == forb[0])):
+        return int(forb[0]), None  # uniform masks: take the shared-mask path
+    return -1, forb
+
+
 def bfs_hops_csr_multi(
     indptr: np.ndarray,
     indices: np.ndarray,
     n: int,
     sources: Sequence[int],
-    forbidden: int = -1,
-) -> np.ndarray:
+    forbidden=-1,
+    scale_unit=None,
+):
     """Batched BFS: hop rows for every source at once, as an ``(S, n)`` matrix.
+
+    With ``scale_unit`` set, returns ``(hops, scaled)`` where ``scaled`` is
+    bit-identical to ``scaled_float_rows(hops, scale_unit)`` but assembled
+    straight from the kernel's internal visit counter — one fewer full pass
+    over the hop matrix, which matters for giant report-prefetch chunks.
+    In this form ``hops`` uses the narrowest exact integer dtype (int16
+    whenever the round count fits): every entry is the same exact integer
+    the plain form returns, at a quarter of the matrix and cache bytes.
 
     Row ``i`` is exactly ``bfs_hops_csr(..., sources[i], forbidden)``.  All
     sources advance level-synchronously over **bitset frontiers**: each node
     carries one bit per source packed into ``ceil(S / 64)`` uint64 words, a
     round ORs the frontier words of every union-frontier tail into its heads
-    (one ``np.bitwise_or.at``), and newly set bits are decoded into hop
-    labels.  Per-round work is ``O(frontier edges * S / 64)`` words instead
+    (one ``np.bitwise_or.at``) and ticks a bit-sliced visit counter from
+    which hop labels are assembled once at the end.  Per-round work is
+    ``O(frontier edges * S / 64)`` words instead
     of ``O(S * E)`` bools, which is what amortises the per-round dispatch
     overhead that makes single-source array BFS lose on sparse, deep graphs
     — per-node deviation probes (a handful of sources, same mask) and whole
     ``all_costs`` sweeps (``S = n``) both stay traversal-cheap.
+
+    ``forbidden`` is a shared int or a sequence aligned with ``sources``:
+    with per-row masks, row ``i`` never enters ``forbidden[i]`` (its bit is
+    cleared from every reached word via a per-node blocked bitmask), so one
+    giant traversal serves ``d_{G-u_i}`` rows for *different* masked nodes
+    ``u_i`` — the substrate of whole-report batched prefetch.  Each row's
+    bits evolve exactly as they would alone (bits of different sources never
+    interact), so per-row-masked rows stay bit-identical to the
+    single-source kernel under its own mask.
     """
     sources = np.asarray(sources, dtype=np.int64)
     num = int(sources.shape[0])
-    if forbidden >= 0 and bool(np.any(sources == forbidden)):
-        raise ValueError("the BFS source cannot be the forbidden node")
-    hops = np.full((num, n), UNREACHED, dtype=np.int64)
-    hops[np.arange(num), sources] = 0
+    forbidden, forb_rows = _per_row_masks(sources, n, forbidden, "BFS")
     words = (num + 63) // 64
     frontier = np.zeros((n, words), dtype=np.uint64)
     bit_word = np.arange(num, dtype=np.int64) // 64
@@ -230,38 +278,175 @@ def bfs_hops_csr_multi(
     np.bitwise_or.at(frontier, (sources, bit_word), bit_mask)
     visited = frontier.copy()
     masked = 0 <= forbidden < n
-    level = 0
-    flat = hops.reshape(-1)
+    unblocked = None
+    if forb_rows is not None:
+        # blocked[v] has bit i set when row i must never enter node v; AND-ing
+        # its complement out of each round's reached words is the per-row
+        # analogue of zeroing the shared forbidden node's words.
+        rows_masked = np.flatnonzero((forb_rows >= 0) & (forb_rows < n))
+        blocked = np.zeros_like(frontier)
+        np.bitwise_or.at(
+            blocked,
+            (forb_rows[rows_masked], bit_word[rows_masked]),
+            bit_mask[rows_masked],
+        )
+        unblocked = ~blocked
+    # Hop labels are never scattered during the sweep.  Instead each round
+    # increments a bit-sliced counter over the *visited* words (a carry-save
+    # ripple across ceil(log2(rounds+1)) uint64 planes, so the per-round cost
+    # is a handful of word-parallel AND/XORs instead of an unpack + nonzero +
+    # scatter over every fresh bit).  A bit first visited in round L is
+    # counted in rounds L..R, so count = R - L + 1 and L = R + 1 - count;
+    # never-visited bits keep count 0.  One unpack per plane at the end
+    # replaces the per-round decode that dominated giant-chunk profiles.
+    planes: list = []
+    rounds = 0
+    # Once the frontier covers a large slice of a wide batch, a head-grouped
+    # ``bitwise_or.reduceat`` over the reverse CSR beats the
+    # frontier-restricted scatter (``bitwise_or.at`` is a buffered
+    # per-element loop): inactive tails contribute all-zero words, so the
+    # dense sweep computes the same ``reached``.  Narrow batches stay on the
+    # sparse scatter — their per-round gather traffic (all E edges * words)
+    # would dwarf the scatter they replace.
+    rev = None
+    dense_threshold = n // 4 if words >= 4 else n + 1
+    last_fresh = 0
     while True:
-        level += 1
-        active = np.flatnonzero(frontier.any(axis=1))
-        positions, tails = _gather_edges(indptr, active)
-        if positions.size == 0:
-            break
-        heads = indices[positions]
-        reached = np.zeros_like(frontier)
-        np.bitwise_or.at(reached, heads, frontier[tails])
+        if last_fresh >= dense_threshold:
+            if rev is None:
+                rev_indptr, rev_tails = reverse_csr(indptr, indices, n)
+                # reduceat only over heads that have in-edges: empty groups
+                # would repeat a neighbour's element (and a start == E is out
+                # of bounds), but consecutive non-empty starts are strictly
+                # increasing and span exactly each head's edge run, so none
+                # of reduceat's empty-group quirks apply.
+                nonempty = np.flatnonzero(rev_indptr[:-1] < rev_indptr[1:])
+                rev_starts = rev_indptr[:-1][nonempty]
+                rev = (
+                    rev_starts,
+                    rev_tails,
+                    nonempty if nonempty.shape[0] < n else None,
+                )
+            grouped = np.bitwise_or.reduceat(frontier[rev[1]], rev[0], axis=0)
+            if rev[2] is None:
+                reached = grouped
+            else:
+                reached = np.zeros_like(frontier)
+                reached[rev[2]] = grouped
+        else:
+            active = np.flatnonzero(frontier.any(axis=1))
+            positions, tails = _gather_edges(indptr, active)
+            if positions.size == 0:
+                break
+            heads = indices[positions]
+            reached = np.zeros_like(frontier)
+            np.bitwise_or.at(reached, heads, frontier[tails])
         if masked:
             reached[forbidden] = 0
+        elif unblocked is not None:
+            reached &= unblocked
         fresh = reached & ~visited
         rows = np.flatnonzero(fresh.any(axis=1))
         if rows.size == 0:
             break
+        last_fresh = int(rows.size)
         visited[rows] |= fresh[rows]
         frontier = fresh
-        # Decode the new bits into hop labels: unpack the fresh rows' words
-        # to (R, S) booleans.  bitorder='little' matches the shift direction
+        rounds += 1
+        carry = visited.copy()
+        for plane in planes:
+            carried = plane & carry
+            plane ^= carry
+            carry = carried
+        if carry.any():
+            planes.append(carry)
+    scaled = None
+    if not planes:
+        hops = np.full(
+            (num, n), UNREACHED,
+            dtype=np.int64 if scale_unit is None else np.int16,
+        )
+        if scale_unit is not None:
+            scaled = np.full((num, n), np.inf)
+    else:
+        # Assemble levels from the plane counters: unpack each plane's words
+        # once to (n, S) bits.  bitorder='little' matches the shift direction
         # used to build bit_mask above once the words are in little-endian
-        # byte order (a byteswap on big-endian hosts).
-        blocks = fresh[rows]
-        if _BIG_ENDIAN:  # pragma: no cover - exercised on s390x and friends
-            blocks = blocks.byteswap()
-        bits = np.unpackbits(blocks.view(np.uint8), axis=1, bitorder="little")[:, :num]
-        node_pos, source_pos = np.nonzero(bits)
-        flat[source_pos * n + rows[node_pos]] = level
+        # byte order (a byteswap on big-endian hosts).  The counter uses the
+        # narrowest exact dtype (counts <= rounds, bounded by 2**planes - 1)
+        # so the accumulation and the transpose touch as little memory as
+        # possible; counts are exact small integers either way, so the final
+        # int64 subtraction is bit-identical.
+        if len(planes) <= 8:
+            acc_dtype = np.uint8
+        elif len(planes) <= 15:
+            acc_dtype = np.int16
+        else:
+            acc_dtype = np.int64
+        # Transposing the packed bytes (words per node, a ~1% slice of the
+        # full bit matrix) lands source-major cheaply, and a shift-and-mask
+        # broadcast unpacks each byte row into its 8 source rows in C order
+        # — byte s // 8 of a node's words holds sources 8 * (s // 8) ..
+        # 8 * (s // 8) + 7, least significant bit first, matching bit_mask
+        # above.  (np.unpackbits along axis 0 computes the same thing an
+        # order of magnitude slower, and unpacking along axis 1 would force
+        # an elementwise transpose of the full-size counter.)
+        count = np.zeros((num, n), dtype=acc_dtype)
+        shifts = np.arange(8, dtype=np.uint8)[None, :, None]
+        for k, plane in enumerate(planes):
+            if _BIG_ENDIAN:  # pragma: no cover - exercised on s390x and friends
+                plane = plane.byteswap()
+            pbytes = np.ascontiguousarray(plane.view(np.uint8).T)
+            bits = ((pbytes[:, None, :] >> shifts) & np.uint8(1)).reshape(-1, n)
+            bits = bits[:num]
+            if k == 0:
+                count += bits
+            elif k < 8:
+                count += bits << np.uint8(k)  # still uint8: k <= 7, bit <= 128
+            else:
+                count += bits.astype(acc_dtype) << k
+        # Widen once, subtract in place, then fill the (typically few)
+        # never-visited entries.  The fused giant-chunk form keeps hops in
+        # int16 where exact (labels are bounded by rounds + 1, which fits
+        # whenever the counter did): a quarter of the write traffic here and
+        # of the hop-row cache bytes downstream.
+        never = count == 0
+        if scale_unit is None:
+            out_dtype = np.int64
+        else:
+            # <= 14 planes: rounds < 2**14, so rounds + 1 and every label
+            # stay well inside int16.
+            out_dtype = np.int16 if len(planes) <= 14 else np.int64
+        hops = count.astype(out_dtype)
+        np.subtract(rounds + 1, hops, out=hops)
+        hops[never] = UNREACHED
+        if scale_unit is not None:
+            # One multiply off the still-cache-hot hop matrix; ``never`` is
+            # exactly the ``hops < 0`` set ``scaled_float_rows`` masks, so
+            # this is the same IEEE product and fill, one full pass over the
+            # cold matrix cheaper.
+            scaled = hops * np.float64(scale_unit)
+            scaled[never] = np.inf
+    # Sources counted in every round (count = rounds → level 1 above), but
+    # their true hop label is 0.
+    hops[np.arange(num), sources] = 0
     if masked:
         hops[:, forbidden] = UNREACHED
-    return hops
+    elif forb_rows is not None:
+        # Blocked bits were never set, so these entries already hold
+        # UNREACHED; the explicit write keeps the mask contract load-bearing
+        # rather than incidental.
+        hops[rows_masked, forb_rows[rows_masked]] = UNREACHED
+    if scaled is None:
+        return hops
+    # Mirror the post-assembly writes above so ``scaled`` matches
+    # ``scaled_float_rows(hops, scale_unit)`` bit for bit.
+    scaled[np.arange(num), sources] = 0.0
+    if masked:
+        scaled[:, forbidden] = np.inf
+    elif forb_rows is not None:
+        scaled[rows_masked, forb_rows[rows_masked]] = np.inf
+    return hops, scaled
 
 
 def dijkstra_csr_multi(
@@ -270,7 +455,7 @@ def dijkstra_csr_multi(
     lengths: np.ndarray,
     n: int,
     sources: Sequence[int],
-    forbidden: int = -1,
+    forbidden=-1,
 ) -> np.ndarray:
     """Batched frontier Dijkstra: one ``(S, n)`` matrix of distance rows.
 
@@ -280,21 +465,46 @@ def dijkstra_csr_multi(
     edge for a source that did not improve its tail is a no-op (the candidate
     cannot beat the standing label), so sharing the gather across sources
     never changes any label — only the round count shrinks.
+
+    ``forbidden`` is a shared int or a sequence aligned with ``sources``
+    (row ``i`` masks ``forbidden[i]``).  With per-row masks, a node that is
+    forbidden for row ``i`` can still enter the *shared* frontier through
+    another row, so besides the barrier entry (which keeps relaxations into
+    the mask from sticking) every round must also kill row ``i``'s
+    relaxations *out of* its own forbidden tail — otherwise the barrier
+    label would propagate outward for that row.  With both guards the
+    relaxations applied to row ``i`` are exactly the single-mask kernel's,
+    so labels (float bits included) are unchanged.
     """
     sources = np.asarray(sources, dtype=np.int64)
     num = int(sources.shape[0])
-    if forbidden >= 0 and bool(np.any(sources == forbidden)):
-        raise ValueError("the Dijkstra source cannot be the forbidden node")
+    forbidden, forb_rows = _per_row_masks(sources, n, forbidden, "Dijkstra")
     integral = lengths.dtype.kind in "iu"
     if integral:
         dist = np.full((num, n), INT_UNREACHED, dtype=np.int64)
         barrier = -1
+        unreached = INT_UNREACHED
     else:
         dist = np.full((num, n), np.inf, dtype=np.float64)
         barrier = -np.inf
+        unreached = np.inf
     masked = 0 <= forbidden < n
     if masked:
         dist[:, forbidden] = barrier
+    forb_counts = forb_sorted_rows = forb_starts = None
+    if forb_rows is not None:
+        rows_masked = np.flatnonzero((forb_rows >= 0) & (forb_rows < n))
+        dist[rows_masked, forb_rows[rows_masked]] = barrier
+        # Group masking rows by forbidden node once, so each round's kill is
+        # a ragged scatter over only the (row, edge) pairs whose tail is that
+        # row's own forbidden node — O(E_round + matches) instead of the
+        # (S, E_round) comparison matrix that dominates giant chunks.
+        forb_counts = np.zeros(n, dtype=np.int64)
+        np.add.at(forb_counts, forb_rows[rows_masked], 1)
+        order = np.argsort(forb_rows[rows_masked], kind="stable")
+        forb_sorted_rows = rows_masked[order]
+        forb_starts = np.zeros(n, dtype=np.int64)
+        forb_starts[1:] = np.cumsum(forb_counts)[:-1]
     dist[np.arange(num), sources] = 0
     flat = dist.reshape(-1)
     offsets = np.arange(num, dtype=np.int64) * n
@@ -311,6 +521,18 @@ def dijkstra_csr_multi(
             break
         heads = indices[positions]
         candidates = dist[:, tails] + lengths[positions]
+        if forb_rows is not None:
+            # Kill each row's relaxations out of its own forbidden tail: its
+            # barrier label must never leave the masked node.
+            cols = np.flatnonzero(forb_counts[tails] > 0)
+            if cols.size:
+                counts = forb_counts[tails[cols]]
+                ends = np.cumsum(counts)
+                within = np.arange(int(ends[-1]), dtype=np.int64)
+                within -= np.repeat(ends - counts, counts)
+                starts = np.repeat(forb_starts[tails[cols]], counts)
+                kill_rows = forb_sorted_rows[starts + within]
+                candidates[kill_rows, np.repeat(cols, counts)] = unreached
         head_columns = np.unique(heads)
         if 4 * head_columns.size < n:
             # Narrow round: snapshot only the columns that can change.
@@ -328,6 +550,8 @@ def dijkstra_csr_multi(
             break
     if masked:
         dist[:, forbidden] = INT_UNREACHED if integral else np.inf
+    if forb_rows is not None:
+        dist[rows_masked, forb_rows[rows_masked]] = unreached
     return dist
 
 
@@ -350,7 +574,10 @@ def scaled_float_rows(hops: np.ndarray, unit: float) -> np.ndarray:
     helper computes; :data:`~repro.graphs.int_kernels.UNREACHED` becomes
     ``inf``.
     """
-    rows = hops.astype(np.float64) * unit
+    # One fused ufunc: each int hop converts to its exact double (< 2**53)
+    # before the multiply, so every entry is the same single IEEE product
+    # ``float(h) * unit`` the two-step astype-then-scale spelling computes.
+    rows = hops * np.float64(unit)
     rows[hops < 0] = np.inf
     return rows
 

@@ -30,7 +30,13 @@ from repro.engine import (
     resolve_backend,
 )
 from repro.engine.cost_engine import NUMPY_BACKEND_MIN_N_UNIFORM
-from repro.graphs.int_kernels import bfs_hops_csr, build_csr, dijkstra_csr
+from repro.graphs.int_kernels import (
+    bfs_hops_csr,
+    bfs_hops_csr_multi,
+    build_csr,
+    dijkstra_csr,
+    dijkstra_csr_multi,
+)
 from repro.experiments.workloads import random_initial_profile
 
 try:
@@ -150,6 +156,164 @@ def test_multi_source_rejects_forbidden_source():
         npk.dijkstra_csr_multi(
             indptr, indices, np.asarray([1.0, 1.0]), 2, [0, 1], forbidden=1
         )
+
+
+def _random_per_row_masks(rng, sources, n):
+    """Per-row forbidden masks: a mix of -1 and random non-source nodes."""
+    masks = []
+    for s in sources:
+        if rng.random() < 0.3 or n < 2:
+            masks.append(-1)
+        else:
+            masks.append(rng.choice([v for v in range(n) if v != s]))
+    return masks
+
+
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12), integral=st.booleans())
+def test_per_row_mask_kernels_match_single_source(seed, n, integral):
+    """Row i of a per-row-masked batch equals a single masked traversal.
+
+    Each row computes ``d_{G-u_i}`` for its *own* masked node — the
+    giant-batch substrate — so the shared frontier must never leak values
+    through a node that is forbidden for one row but live for another.
+    Covers uniform BFS and exact-int / float Dijkstra, zero-length edges,
+    and disconnected nodes.
+    """
+    rng = random.Random(seed)
+    rows = _random_adjacency(rng, n)
+    length_rows = [
+        [float(rng.choice(_length_choices(integral))) for _ in range(n)]
+        for _ in range(n)
+    ]
+    indptr, indices, lengths = _csr_with_lengths(rows, length_rows)
+    indptr_np, indices_np = npk.csr_arrays(indptr, indices)
+    lengths_np = np.asarray(lengths, dtype=np.int64 if integral else np.float64)
+    sources = [rng.randrange(n) for _ in range(rng.randint(2, 2 * n))]
+    masks = _random_per_row_masks(rng, sources, n)
+    hop_matrix = npk.bfs_hops_csr_multi(indptr_np, indices_np, n, sources, masks)
+    dist_matrix = npk.dijkstra_csr_multi(
+        indptr_np, indices_np, lengths_np, n, sources, masks
+    )
+    for i, (source, forbidden) in enumerate(zip(sources, masks)):
+        assert hop_matrix[i].tolist() == bfs_hops_csr(
+            indptr, indices, n, source, forbidden
+        )
+        reference = dijkstra_csr(indptr, indices, lengths, n, source, forbidden)
+        produced = (
+            npk.int_to_float_rows(dist_matrix[i]) if integral else dist_matrix[i]
+        )
+        _float_rows_equal(reference, produced)
+
+
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12))
+def test_fused_scaled_rows_match_two_pass(seed, n):
+    """``bfs_hops_csr_multi(..., scale_unit=u)`` returns ``(hops, scaled)``
+    with ``scaled`` bit-identical to ``scaled_float_rows(hops, u)`` — the
+    fused giant-chunk path may not drift from the two-pass conversion by a
+    single ULP, across shared and per-row masks and disconnected nodes."""
+    rng = random.Random(seed)
+    rows = _random_adjacency(rng, n)
+    indptr, indices = build_csr(rows)
+    indptr_np, indices_np = npk.csr_arrays(indptr, indices)
+    sources = [rng.randrange(n) for _ in range(rng.randint(2, 2 * n))]
+    unit = rng.choice([1.0, 0.5, 1.5, 3.25])
+    for forbidden in (-1, _random_per_row_masks(rng, sources, n)):
+        plain = npk.bfs_hops_csr_multi(indptr_np, indices_np, n, sources, forbidden)
+        hops, scaled = npk.bfs_hops_csr_multi(
+            indptr_np, indices_np, n, sources, forbidden, scale_unit=unit
+        )
+        assert np.array_equal(hops, plain)
+        expected = npk.scaled_float_rows(plain, unit)
+        finite = np.isfinite(expected)
+        assert np.array_equal(finite, np.isfinite(scaled))
+        assert np.array_equal(scaled[finite], expected[finite])
+
+
+@needs_numpy
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_wide_batch_dense_rounds_match_narrow_batches(seed):
+    """Giant-width batches (>= 4 bit-planes of sources, so the dense
+    reverse-CSR reduceat rounds engage) agree row for row with narrow
+    batches that stay on the sparse scatter.  Sparse graphs make empty
+    in-edge head groups — including a trailing run of them, the regression
+    of record: clipping a trailing start used to drop the previous head's
+    last in-edge from its reduceat group."""
+    rng = random.Random(seed)
+    n = rng.randint(32, 64)
+    # Sparse rows (out-degree <= 3) keep diameters long enough that many
+    # rounds run dense; dense graphs would finish before the switch.
+    rows = [
+        sorted(rng.sample([v for v in range(n) if v != u], rng.randint(0, 3)))
+        for u in range(n)
+    ]
+    # Guarantee in-degree-0 heads, one of them last.
+    orphans = {n - 1, rng.randrange(n)}
+    rows = [sorted(set(row) - orphans) for row in rows]
+    indptr, indices = build_csr(rows)
+    indptr_np, indices_np = npk.csr_arrays(indptr, indices)
+    num = rng.randint(193, 320)  # words >= 4
+    sources = [rng.randrange(n) for _ in range(num)]
+    for forbidden in (-1, _random_per_row_masks(rng, sources, n)):
+        wide = npk.bfs_hops_csr_multi(indptr_np, indices_np, n, sources, forbidden)
+        step = 8
+        for lo in range(0, num, step):
+            masks = forbidden if forbidden == -1 else forbidden[lo:lo + step]
+            narrow = npk.bfs_hops_csr_multi(
+                indptr_np, indices_np, n, sources[lo:lo + step], masks
+            )
+            assert np.array_equal(wide[lo:lo + step], narrow)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 10), integral=st.booleans())
+def test_list_multi_kernels_match_single_source(seed, n, integral):
+    """The list-kernel batched forms (the reference, and the python
+    backend's giant-batch path) agree row for row with single traversals —
+    with a shared scalar mask and with per-row masks."""
+    rng = random.Random(seed)
+    rows = _random_adjacency(rng, n)
+    length_rows = [
+        [float(rng.choice(_length_choices(integral))) for _ in range(n)]
+        for _ in range(n)
+    ]
+    indptr, indices, lengths = _csr_with_lengths(rows, length_rows)
+    sources = [rng.randrange(n) for _ in range(rng.randint(2, 2 * n))]
+    masks = _random_per_row_masks(rng, sources, n)
+    non_sources = [v for v in range(n) if v not in sources]
+    shared = rng.choice(non_sources) if non_sources else -1
+    for forbidden in (masks, shared):
+        per_row = forbidden if isinstance(forbidden, list) else [forbidden] * len(sources)
+        assert bfs_hops_csr_multi(indptr, indices, n, sources, forbidden) == [
+            bfs_hops_csr(indptr, indices, n, s, f)
+            for s, f in zip(sources, per_row)
+        ]
+        assert dijkstra_csr_multi(
+            indptr, indices, lengths, n, sources, forbidden
+        ) == [
+            dijkstra_csr(indptr, indices, lengths, n, s, f)
+            for s, f in zip(sources, per_row)
+        ]
+
+
+def test_per_row_masks_reject_collisions_and_misalignment():
+    indptr, indices = build_csr([[1], [0]])
+    with pytest.raises(ValueError):
+        bfs_hops_csr_multi(indptr, indices, 2, [0, 1], [1, 1])
+    with pytest.raises(ValueError):
+        dijkstra_csr_multi(indptr, indices, [1.0, 1.0], 2, [0, 1], [0, 1, 0])
+    if np is not None:
+        indptr_np, indices_np = npk.csr_arrays(indptr, indices)
+        with pytest.raises(ValueError):
+            npk.bfs_hops_csr_multi(indptr_np, indices_np, 2, [0, 1], [1, 1])
+        with pytest.raises(ValueError):
+            npk.dijkstra_csr_multi(
+                indptr_np, indices_np, np.asarray([1.0, 1.0]), 2, [0, 1], [0, 1, 0]
+            )
 
 
 @needs_numpy
@@ -363,3 +527,112 @@ def test_prefetch_is_invisible_to_results():
         rng = random.Random(seed)
         strategy = rng.sample([v for v in range(24) if v != 3], 2)
         assert prefetched.score_ints(list(strategy)) == cold.score_ints(list(strategy))
+
+
+# --------------------------------------------------------------------- #
+# Giant-batch report plans
+# --------------------------------------------------------------------- #
+def _restricted_candidates(game, per_node=5, seed=13):
+    rng = random.Random(seed)
+    nodes = list(game.nodes)
+    return {
+        node: rng.sample([v for v in nodes if v != node], per_node)
+        for node in nodes
+    }
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+@pytest.mark.parametrize(
+    "make_game",
+    [
+        lambda: UniformBBCGame(20, 2),
+        lambda: _weighted_game(18, integral=True),
+        lambda: _weighted_game(18, integral=False),
+    ],
+    ids=["uniform-bfs", "weighted-int", "weighted-float"],
+)
+def test_giant_batch_report_matches_per_node_and_reference(make_game, backend):
+    """Giant-batch reports are bit-identical to per-node batches and to the
+    dict-oracle reference, restricted and unrestricted, on both backends."""
+    if backend == "numpy" and np is None:
+        pytest.skip("numpy is not installed")
+    game = make_game()
+    profile = random_initial_profile(game, seed=9)
+    for candidates in (None, _restricted_candidates(game)):
+        giant = CostEngine(game, backend=backend)
+        per_node = CostEngine(game, backend=backend, giant_batch=False)
+        report_giant = equilibrium_report(
+            game, profile, candidates=candidates, engine=giant
+        )
+        report_per_node = equilibrium_report(
+            game, profile, candidates=candidates, engine=per_node
+        )
+        report_ref = equilibrium_report(
+            game, profile, candidates=candidates, engine=False
+        )
+        assert report_giant.responses == report_per_node.responses
+        assert report_giant.responses == report_ref.responses
+        assert report_giant.max_regret == report_ref.max_regret
+        assert giant.stats["giant_batch_traversals"] > 0
+        assert per_node.stats["giant_batch_traversals"] == 0
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_giant_batch_under_tiny_budget_evicts_mid_report_and_stays_exact(backend):
+    """A budget far below one report's working set forces chunk evictions in
+    the middle of the giant-batch report; results must not move, and a
+    post-report walk (repair-after-eviction territory) must match the
+    reference trace exactly."""
+    if backend == "numpy" and np is None:
+        pytest.skip("numpy is not installed")
+    game = UniformBBCGame(24, 2)
+    profile = random_initial_profile(game, seed=5)
+    engine = CostEngine(game, backend=backend, memory_budget_bytes=6_000)
+    report = equilibrium_report(game, profile, engine=engine)
+    reference = equilibrium_report(game, profile, engine=False)
+    assert report.responses == reference.responses
+    assert engine.stats["chunks_evicted"] > 0
+    # Budget plus the exempt in-flight node's working set (up to 4 rows of 24
+    # floats per first hop, plus one combination vector).
+    assert engine.cache_bytes() <= 6_000 + 4 * 23 * 8 * 24 + 4_096
+    walk = run_best_response_walk(game, profile, max_rounds=10, engine=engine)
+    walk_ref = run_best_response_walk(game, profile, max_rounds=10, engine=False)
+    assert walk.final_profile == walk_ref.final_profile
+    assert walk.probes == walk_ref.probes
+    assert walk.deviations == walk_ref.deviations
+
+
+def test_swap_stability_report_uses_the_plan_and_matches_reference():
+    from repro.core.equilibrium import swap_stability_report
+
+    game = UniformBBCGame(16, 2)
+    profile = random_initial_profile(game, seed=11)
+    engine = CostEngine(game)
+    report = swap_stability_report(game, profile, engine=engine)
+    reference = swap_stability_report(game, profile, engine=False)
+    assert report.responses == reference.responses
+    assert engine.stats["giant_batch_traversals"] > 0
+
+
+def test_plan_is_cleared_by_profile_changes_and_skips_oversized_reports():
+    game = UniformBBCGame(12, 2)
+    profile = random_initial_profile(game, seed=3)
+    engine = CostEngine(game)
+    planned = engine.plan_report_prefetch(profile)
+    assert planned > 0 and engine._plan_chunks
+    moved = profile.with_strategy(0, frozenset([1, 2]))
+    engine.sync(moved)
+    assert engine._plan_version != engine.version and not engine._plan_chunk_of
+    # A plan above the row limit is declined outright (per-node prefetch
+    # serves those reports); giant_batch=False never plans.
+    import repro.engine.cost_engine as ce
+
+    old_limit = ce.PLAN_ROW_LIMIT
+    ce.PLAN_ROW_LIMIT = 10
+    try:
+        assert engine.plan_report_prefetch(moved) == 0
+        assert not engine._plan_chunk_of
+    finally:
+        ce.PLAN_ROW_LIMIT = old_limit
+    off = CostEngine(game, giant_batch=False)
+    assert off.plan_report_prefetch(moved) == 0

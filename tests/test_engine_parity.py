@@ -526,9 +526,11 @@ def test_shared_engine_is_per_game_and_reused():
     assert get_engine(game) is not get_engine(other)
 
 
-def _cached_row_total(engine):
+def _cached_byte_total(engine):
+    from repro.engine.cost_engine import _payload_nbytes
+
     return sum(
-        len(rows)
+        _payload_nbytes(row)
         for cache in (
             engine._env_cache,
             engine._through_cache,
@@ -536,8 +538,9 @@ def _cached_row_total(engine):
             engine._hop_cache,
         )
         for _, rows in cache.values()
+        for row in rows.values()
     ) + sum(
-        engine._combo_units(vector) for _, _, vector in engine._combo_cache.values()
+        _payload_nbytes(vector) for _, _, vector in engine._combo_cache.values()
     )
 
 
@@ -546,19 +549,28 @@ def test_env_row_cache_is_bounded_and_eviction_preserves_correctness():
     profile = random_profile(game, seed=6)
     engine = CostEngine(game)
     engine.sync(profile)
-    engine._max_env_rows = 10  # force eviction: each node's probe wants 7 rows
+    # Force eviction: one node's probe alone wants several rows of 8 nodes'
+    # worth of floats, so a few hundred bytes of budget churns constantly.
+    engine.memory_budget_bytes = 600
     reference = CostEngine(game)
     for node in game.nodes:
         assert_result_parity(
             best_response(game, profile, node, engine=reference),
             best_response(game, profile, node, engine=engine),
         )
-        # Cap + the exempt in-flight node's working set (env + hop + through
-        # + substituted rows).
-        assert engine._env_rows_cached <= 10 + 4 * 7
+        # The budget, plus at most the exempt in-flight node's working set
+        # (env + hop + through + substituted rows for each of 7 first hops).
+        assert engine.cache_bytes() <= 600 + 4 * 7 * 2 * 8 * len(game.nodes)
     assert engine.stats["rows_evicted"] > 0
-    # Invariant: the counter matches the caches' actual contents.
-    assert engine._env_rows_cached == _cached_row_total(engine)
+    assert engine.stats["chunks_evicted"] > 0
+    # Re-probing an evicted node recomputes (never stale-patches) its rows.
+    assert_result_parity(
+        best_response(game, profile, 0, engine=reference),
+        best_response(game, profile, 0, engine=engine),
+    )
+    assert engine.stats["evicted_recomputes"] > 0
+    # Invariant: the ledger matches the caches' actual contents.
+    assert engine.cache_bytes() == _cached_byte_total(engine)
 
 
 def test_float_labels_do_not_take_the_int_fast_path():
@@ -573,12 +585,59 @@ def test_float_labels_do_not_take_the_int_fast_path():
         )
 
 
-def test_eviction_of_live_scorer_dict_does_not_corrupt_the_counter():
+def _assert_snapshot_matches_game(indexed, game):
+    # The generic snapshot loop's definition, spelled out via the public
+    # game API: whatever construction path IndexedGame took, its rows must
+    # equal this per-pair reconstruction.
+    for u, source in enumerate(indexed.labels):
+        assert indexed.length_rows[u] == [
+            game.link_length(source, target) for target in indexed.labels
+        ]
+        weights = [game.weight(source, target) for target in indexed.labels]
+        weights[u] = 0.0
+        targets = [v for v, w in enumerate(weights) if v != u and w > 0]
+        assert indexed.target_rows[u] == targets
+        assert indexed.target_weight_rows[u] == [weights[v] for v in targets]
+        assert indexed.unit_weight_nodes[u] == all(
+            weights[v] == 1.0 for v in targets
+        )
+
+
+def test_indexed_snapshot_fast_path_matches_per_pair_probing():
+    from repro.engine import IndexedGame
+
+    # Constant-parameter games take the O(n) shared-row fast path …
+    _assert_snapshot_matches_game(IndexedGame(UniformBBCGame(9, 2)), UniformBBCGame(9, 2))
+    # … including with redundant overrides equal to the defaults (the
+    # has_uniform_* predicates are value-based, not dict-emptiness-based) …
+    redundant = BBCGame(
+        nodes=range(6),
+        weights={(0, 1): 1.0, (3, 2): 1.0},
+        link_lengths={(2, 4): 1.0},
+        default_budget=2.0,
+    )
+    _assert_snapshot_matches_game(IndexedGame(redundant), redundant)
+    # … and with an all-zero weight default (no targets anywhere).
+    zero_weight = BBCGame(nodes=range(5), default_weight=0.0, default_budget=1.0)
+    indexed = IndexedGame(zero_weight)
+    _assert_snapshot_matches_game(indexed, zero_weight)
+    assert all(row == [] for row in indexed.target_rows)
+    # Non-uniform parameters stay on the generic per-pair loop; same contract.
+    weighted = BBCGame(
+        nodes=range(7),
+        weights={(0, 3): 2.5, (1, 2): 0.0},
+        link_lengths={(4, 5): 3.0},
+        default_budget=2.0,
+    )
+    _assert_snapshot_matches_game(IndexedGame(weighted), weighted)
+
+
+def test_eviction_of_live_scorer_dict_does_not_corrupt_the_ledger():
     game = UniformBBCGame(8, 2)
     profile = random_profile(game, seed=6)
     engine = CostEngine(game)
     engine.sync(profile)
-    engine._max_env_rows = 10
+    engine.memory_budget_bytes = 600
     # Interleave two live scorers so eviction detaches one's through dict
     # while it keeps materialising rows.
     scorer_a = engine.scorer(0)
@@ -589,7 +648,7 @@ def test_eviction_of_live_scorer_dict_does_not_corrupt_the_counter():
             scorer_a.score_ints([target])
         if target != 1:
             scorer_b.score_ints([target])
-    assert engine._env_rows_cached == _cached_row_total(engine)
+    assert engine.cache_bytes() == _cached_byte_total(engine)
 
 
 def test_explicit_engine_for_wrong_game_is_rejected():
