@@ -88,8 +88,10 @@ from repro.dynamics import reconstruct_figure4, run_best_response_walk  # noqa: 
 from repro.engine import CostEngine, FractionalEngine  # noqa: E402
 from repro.experiments import (  # noqa: E402
     default_processes,
+    last_run_stats,
     max_cost_first_convergence_study,
 )
+from repro.reliability import atomic_write_text  # noqa: E402
 from repro.experiments.workloads import (  # noqa: E402
     empty_initial_profile,
     random_initial_profile,
@@ -272,6 +274,9 @@ def bench_study_grid(repeats, smoke):
     serial_time, serial_rows = time_call(lambda: run(1), repeats)
     parallel_time, parallel_rows = time_call(lambda: run(max(processes, 2)), repeats)
     assert serial_rows == parallel_rows
+    # The fault-tolerant runtime's counters for the parallel leg: all zero on
+    # a healthy box, and the first place to look when a CI run goes sideways.
+    reliability = last_run_stats()
     return {
         "task": "study_grid",
         "n": n,
@@ -282,6 +287,10 @@ def bench_study_grid(repeats, smoke):
         "serial_seconds": serial_time,
         "parallel_seconds": parallel_time,
         "scaling": serial_time / parallel_time,
+        "crashed": reliability["crashed"],
+        "retried": reliability["retried"],
+        "pool_restarts": reliability["pool_restarts"],
+        "serial_fallback_cells": reliability["serial_fallback_cells"],
     }
 
 
@@ -872,15 +881,28 @@ def floor_violations(payload, only_mode=None):
 
 
 def check_floors(json_path):
-    """The ``--check-floors`` entry point: validate the recorded trajectory."""
+    """The ``--check-floors`` entry point: validate the recorded trajectory.
+
+    Exit codes are distinct so CI can tell the failure classes apart:
+    ``1`` for a missing recording or a floor violation, ``2`` for a
+    recording that exists but cannot be parsed (corrupt or truncated —
+    which the atomic writes should make impossible short of disk
+    corruption, hence its own loud signal).
+    """
     if not json_path.exists():
         print(f"no {json_path} to check; run the benchmarks first", file=sys.stderr)
         return 1
     try:
         payload = json.loads(json_path.read_text())
-    except ValueError:
-        print(f"{json_path} is not valid JSON", file=sys.stderr)
-        return 1
+    except ValueError as exc:
+        print(
+            f"CORRUPT RECORDING: {json_path} exists but is not parseable JSON "
+            f"({exc}); the benchmark writes are atomic, so this points at disk "
+            "corruption or a manual edit — delete the file and re-run the "
+            "benchmarks",
+            file=sys.stderr,
+        )
+        return 2
     violations = floor_violations(payload)
     checked = [
         mode
@@ -931,7 +953,14 @@ def run_sweep_scenarios(args, repeats):
     print("benchmarking figure-4 completion scan ...")
     rows.append(bench_figure4(repeats, include_reference=not args.smoke))
     print("benchmarking process-parallel study grid ...")
-    rows.append(bench_study_grid(repeats, args.smoke))
+    grid_row = bench_study_grid(repeats, args.smoke)
+    print(
+        "study grid reliability: "
+        f"crashed={grid_row['crashed']} retried={grid_row['retried']} "
+        f"pool_restarts={grid_row['pool_restarts']} "
+        f"serial_fallback_cells={grid_row['serial_fallback_cells']}"
+    )
+    rows.append(grid_row)
     return rows
 
 
@@ -1089,7 +1118,10 @@ def main():
     payload.pop("smoke", None)
     payload.pop("python", None)
 
-    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # Atomic writes (tmp + os.replace): a benchmark killed mid-write must
+    # leave the previous recording intact, never a truncated JSON that a
+    # later --check-floors run would choke on.
+    atomic_write_text(json_path, json.dumps(payload, indent=2) + "\n")
     table = render_table(rows)
     if args.sweep:
         mode, table_name = "sweep", "BENCH_speed_sweep.txt"
@@ -1102,7 +1134,7 @@ def main():
     else:
         mode, table_name = "core", "BENCH_speed.txt"
     table_path = OUTPUT_DIR / table_name
-    table_path.write_text(table + "\n")
+    atomic_write_text(table_path, table + "\n")
     print("\n" + table)
     print(f"\nwrote {json_path}")
 

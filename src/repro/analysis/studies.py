@@ -10,7 +10,9 @@ accepts ``processes`` and fans the cells out through
 :func:`repro.experiments.parallel_map` (module-level cell workers, plain
 picklable parameters, rows returned in grid order).  ``processes=1`` — the
 default — is a deterministic serial loop; any other count produces the
-identical rows.
+identical rows.  Each study also accepts ``journal`` (a
+:class:`~repro.reliability.CheckpointJournal` or a path), passed through to
+``parallel_map`` so a killed grid resumes from its completed cells.
 """
 
 from __future__ import annotations
@@ -79,7 +81,7 @@ def _fairness_cell(args) -> Row:
 
 
 def fairness_study(
-    parameter_grid: Sequence[tuple], *, exact: bool = True, processes: int = 1
+    parameter_grid: Sequence[tuple], *, exact: bool = True, processes: int = 1, journal=None
 ) -> List[Row]:
     """Fairness of Forest-of-Willows equilibria for each ``(k, h, l)`` triple.
 
@@ -88,7 +90,7 @@ def fairness_study(
     study verifies both on explicit stable graphs.
     """
     cells = [(k, height, tail, exact) for k, height, tail in parameter_grid]
-    return parallel_map(_fairness_cell, cells, processes=processes)
+    return parallel_map(_fairness_cell, cells, processes=processes, journal=journal)
 
 
 # --------------------------------------------------------------------------- #
@@ -115,7 +117,7 @@ def _poa_spectrum_cell(args) -> Row:
 
 
 def poa_spectrum_study(
-    k: int, height: int, tail_lengths: Sequence[int], *, processes: int = 1
+    k: int, height: int, tail_lengths: Sequence[int], *, processes: int = 1, journal=None
 ) -> List[Row]:
     """Social cost of willow equilibria versus the analytic optimum.
 
@@ -124,7 +126,7 @@ def poa_spectrum_study(
     worst stable graph's cost grows like ``n² sqrt(n/k)``.
     """
     cells = [(k, height, tail) for tail in tail_lengths]
-    return parallel_map(_poa_spectrum_cell, cells, processes=processes)
+    return parallel_map(_poa_spectrum_cell, cells, processes=processes, journal=journal)
 
 
 # --------------------------------------------------------------------------- #
@@ -148,9 +150,9 @@ def _diameter_cell(args) -> Row:
     }
 
 
-def diameter_study(parameter_grid: Sequence[tuple], *, processes: int = 1) -> List[Row]:
+def diameter_study(parameter_grid: Sequence[tuple], *, processes: int = 1, journal=None) -> List[Row]:
     """Diameter of willow equilibria versus the ``O(sqrt(n)·log_k n)`` bound."""
-    return parallel_map(_diameter_cell, list(parameter_grid), processes=processes)
+    return parallel_map(_diameter_cell, list(parameter_grid), processes=processes, journal=journal)
 
 
 # --------------------------------------------------------------------------- #
@@ -172,9 +174,9 @@ def _regularity_cell(args) -> Row:
     }
 
 
-def regularity_study(sizes: Sequence[int], k: int, *, processes: int = 1) -> List[Row]:
+def regularity_study(sizes: Sequence[int], k: int, *, processes: int = 1, journal=None) -> List[Row]:
     """Stability of Chord-like offset (Abelian Cayley) graphs of degree ``k``."""
-    return parallel_map(_regularity_cell, [(n, k) for n in sizes], processes=processes)
+    return parallel_map(_regularity_cell, [(n, k) for n in sizes], processes=processes, journal=journal)
 
 
 def _hypercube_cell(dimension: int) -> Row:
@@ -190,9 +192,9 @@ def _hypercube_cell(dimension: int) -> Row:
     }
 
 
-def hypercube_study(dimensions: Sequence[int], *, processes: int = 1) -> List[Row]:
+def hypercube_study(dimensions: Sequence[int], *, processes: int = 1, journal=None) -> List[Row]:
     """Corollary 1: hypercubes are unstable for ``d > 4`` (and small ones may not be)."""
-    return parallel_map(_hypercube_cell, list(dimensions), processes=processes)
+    return parallel_map(_hypercube_cell, list(dimensions), processes=processes, journal=journal)
 
 
 # --------------------------------------------------------------------------- #
@@ -221,10 +223,11 @@ def connectivity_convergence_study(
     *,
     seeds: Sequence[int] = (0, 1, 2),
     processes: int = 1,
+    journal=None,
 ) -> List[Row]:
     """Probes to strong connectivity from random starts, versus the n² bound."""
     cells = [(n, k, tuple(seeds)) for n in sizes]
-    return parallel_map(_connectivity_cell, cells, processes=processes)
+    return parallel_map(_connectivity_cell, cells, processes=processes, journal=journal)
 
 
 def _ring_path_cell(args) -> Row:
@@ -245,10 +248,10 @@ def _ring_path_cell(args) -> Row:
 
 
 def ring_path_lower_bound_study(
-    sizes: Sequence[tuple], *, processes: int = 1
+    sizes: Sequence[tuple], *, processes: int = 1, journal=None
 ) -> List[Row]:
     """Probes to connectivity from the adversarial ring+path starts (Ω(n²))."""
-    return parallel_map(_ring_path_cell, list(sizes), processes=processes)
+    return parallel_map(_ring_path_cell, list(sizes), processes=processes, journal=journal)
 
 
 # --------------------------------------------------------------------------- #
@@ -272,9 +275,9 @@ def _max_poa_cell(args) -> Row:
     }
 
 
-def max_poa_study(parameters: Sequence[tuple], *, processes: int = 1) -> List[Row]:
+def max_poa_study(parameters: Sequence[tuple], *, processes: int = 1, journal=None) -> List[Row]:
     """Social cost of the Figure 6 BBC-max equilibria versus the optimum scale."""
-    return parallel_map(_max_poa_cell, list(parameters), processes=processes)
+    return parallel_map(_max_poa_cell, list(parameters), processes=processes, journal=journal)
 
 
 def _max_pos_cell(args) -> Row:
@@ -294,6 +297,6 @@ def _max_pos_cell(args) -> Row:
     }
 
 
-def max_pos_study(parameter_grid: Sequence[tuple], *, processes: int = 1) -> List[Row]:
+def max_pos_study(parameter_grid: Sequence[tuple], *, processes: int = 1, journal=None) -> List[Row]:
     """Theorem 9: tail-free willow forests are near-optimal under the max objective."""
-    return parallel_map(_max_pos_cell, list(parameter_grid), processes=processes)
+    return parallel_map(_max_pos_cell, list(parameter_grid), processes=processes, journal=journal)

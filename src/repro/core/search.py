@@ -125,6 +125,18 @@ def _nash_checker(
     ).is_nash
 
 
+def _serialize_profile(profile: StrategyProfile) -> list:
+    """``profile`` as JSON-able ``[node, [targets...]]`` pairs (repr-sorted)."""
+    return [
+        [node, sorted(profile[node], key=repr)] for node in profile
+    ]
+
+
+def _deserialize_profile(pairs) -> StrategyProfile:
+    """Rebuild a :class:`StrategyProfile` from :func:`_serialize_profile` output."""
+    return StrategyProfile({node: frozenset(targets) for node, targets in pairs})
+
+
 def exhaustive_equilibrium_search(
     game: BBCGame,
     *,
@@ -135,6 +147,8 @@ def exhaustive_equilibrium_search(
     deviation_limit: float = DEFAULT_ENUMERATION_LIMIT,
     tolerance: float = 1e-9,
     engine=None,
+    journal=None,
+    checkpoint_every: int = 256,
 ) -> SearchSummary:
     """Search for pure Nash equilibria by enumerating profiles.
 
@@ -150,36 +164,97 @@ def exhaustive_equilibrium_search(
     :class:`~repro.engine.SweepEvaluator`; ``engine=False`` checks each
     profile from scratch with the reference oracle.  Summaries are identical
     either way.
+
+    ``journal`` (a :class:`~repro.reliability.CheckpointJournal` or a path)
+    makes the sweep crash-safe: completed blocks of ``checkpoint_every``
+    consecutive Gray-order profiles are recorded atomically, and a re-run
+    with the same journal skips their Nash checks entirely (profile
+    construction is replayed — the Gray walk is the iteration order — but no
+    deviation is re-enumerated).  The resumed summary is identical to an
+    uninterrupted run's.  The journal is bound to this search's shape
+    (radices, ``checkpoint_every``, ``stop_at_first``); reusing it for a
+    different search raises
+    :class:`~repro.reliability.CheckpointError`.
     """
     from ..engine.sweep import gray_code_profiles
+    from ..reliability.faults import fault_point
+    from ..reliability.journal import resolve_journal
+
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be at least 1 (got {checkpoint_every})"
+        )
+    journal = resolve_journal(journal)
+    sets = candidate_strategy_sets(game, candidate_strategies, candidate_targets)
+    if journal is not None:
+        journal.bind_meta(
+            {
+                "kind": "exhaustive-search",
+                "checkpoint_every": int(checkpoint_every),
+                "stop_at_first": bool(stop_at_first),
+                "radices": [len(sets[node]) for node in game.nodes],
+            }
+        )
 
     check = _nash_checker(game, tolerance, deviation_limit, engine)
     examined = 0
     found = 0
     first: Optional[StrategyProfile] = None
-    for profile in gray_code_profiles(
+
+    def finish(record) -> None:
+        nonlocal examined, found, first
+        examined += record["examined"]
+        found += record["found"]
+        if first is None and record["first"] is not None:
+            first = _deserialize_profile(record["first"])
+
+    profiles = gray_code_profiles(
         game,
-        candidate_strategies=candidate_strategies,
-        candidate_targets=candidate_targets,
+        candidate_strategies=sets,
         limit=profile_limit,
-    ):
-        examined += 1
-        if check(profile):
-            found += 1
-            if first is None:
-                first = profile
-            if stop_at_first:
-                return SearchSummary(
-                    profiles_examined=examined,
-                    equilibria_found=found,
-                    first_equilibrium=first,
-                    exhausted=False,
-                )
+    )
+    block_index = 0
+    exhausted = True
+    done = False
+    while not done:
+        block = list(itertools.islice(profiles, checkpoint_every))
+        if not block:
+            break
+        completed = journal.get(f"block:{block_index}") if journal is not None else None
+        if completed is not None:
+            # The block's verdicts are already journalled: adopt them without
+            # re-enumerating a single deviation.
+            finish(completed)
+            if completed["stopped"]:
+                exhausted = False
+                done = True
+        else:
+            record = {"examined": 0, "found": 0, "first": None, "stopped": False}
+            base = block_index * checkpoint_every
+            for offset, profile in enumerate(block):
+                fault_point("search.profile", key=base + offset)
+                record["examined"] += 1
+                if check(profile):
+                    record["found"] += 1
+                    if record["first"] is None:
+                        record["first"] = _serialize_profile(profile)
+                    if stop_at_first:
+                        record["stopped"] = True
+                        break
+            if journal is not None:
+                journal.record(f"block:{block_index}", record)
+            finish(record)
+            if record["stopped"]:
+                exhausted = False
+                done = True
+        block_index += 1
+    if journal is not None:
+        journal.flush()
     return SearchSummary(
         profiles_examined=examined,
         equilibria_found=found,
         first_equilibrium=first,
-        exhausted=True,
+        exhausted=exhausted,
     )
 
 

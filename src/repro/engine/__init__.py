@@ -159,7 +159,47 @@ objective, penalty))`` or ``("general", (nodes, sparse tables, defaults))`` —
 from which each worker rebuilds the game and its :class:`IndexedGame`/
 :class:`CostEngine` locally instead of pickling engine state;
 ``parallel_map(fn, items, processes=...)`` preserves item order and falls
-back to a deterministic serial loop when ``processes == 1``.
+back to a deterministic serial loop when ``processes == 1``.  The fan-out is
+crash-safe: per-task timeouts, bounded deterministic retries, dead-pool
+detection with resubmission of only the lost cells on fresh pools, and a
+final serial rung mean results are bit-identical at any process count, retry
+count, or crash schedule (``tests/test_reliability.py`` pins it across all
+three axes).
+
+**Failure semantics.**  Every entry point above either returns a result
+bit-identical to its fault-free run or raises a *documented typed error* —
+never a wrong answer, never an unhandled ``multiprocessing``/scipy
+traceback.  The contract, enforced under the deterministic fault-injection
+harness of :mod:`repro.reliability` (seeded :class:`~repro.reliability
+.FaultPlan` rules firing at named ``fault_point`` sites):
+
+* ``parallel_map`` — a worker exception is retried in-pool up to ``retries``
+  times with deterministic backoff; a dead pool (``BrokenProcessPool`` or a
+  task that outlives its ``timeout``) is rebuilt up to ``max_pool_restarts``
+  times with only the lost cells resubmitted, then the remaining cells run
+  serially under a ``RuntimeWarning`` naming the cell count and cause.
+  ``on_error`` picks the terminal policy: ``"raise"`` (the default — the
+  first failing cell's exception propagates), ``"retry-serial"`` (one serial
+  re-run per failed cell), or ``"skip"`` (failed cells yield ``None`` under
+  a warning).  ``last_run_stats()`` reports the crashed / retried /
+  journal-hit / fallback counters of the latest run.
+* ``CostEngine(verify_every=N)`` — every ``N``-th environment-row cache hit
+  is recomputed and compared; a poisoned row warns, is counted in
+  ``stats["row_verify_failures"]``, and is rebuilt — never served silently.
+  A failed giant-chunk build degrades to per-node fills
+  (``stats["chunk_build_failures"]``); an unavailable numpy at resolve time
+  degrades ``backend="auto"`` to the list kernels.
+* ``FractionalEngine.best_response`` — a failed LP solve is retried once
+  from a fresh assembly (``stats["lp_retries"]``), then falls back to the
+  reference FlowNetwork path for that call under a ``RuntimeWarning``
+  (``stats["lp_fallbacks"]``).
+* Long sweeps — ``exhaustive_equilibrium_search(journal=...)`` and the
+  ``journal=`` kwarg of ``parallel_map`` and the study grids checkpoint
+  completed profile blocks / grid cells through an atomic-write
+  :class:`~repro.reliability.CheckpointJournal`; a killed run resumes
+  without recomputing journalled work and returns the identical summary.
+  A corrupt or mismatched journal raises
+  :class:`~repro.reliability.CheckpointError`.
 
 **The fractional contract.**  The fractional relaxation
 (:mod:`repro.core.fractional`) has its own engine,

@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 import weakref
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..core.errors import InvalidProfile
+from ..reliability.faults import InjectedFault, fault_fires, fault_point
 from ..core.objectives import Objective
 from ..core.profile import StrategyProfile
 from ..graphs.int_kernels import (
@@ -138,16 +140,22 @@ def resolve_backend(backend, n: int, uniform_lengths: bool = False) -> str:
     unavailable.  Both backends produce bit-identical rows, costs, and
     traces — the selector only trades constant factors
     (``tests/test_backend_parity.py`` pins the parity).
+
+    The ``engine.numpy-import`` fault site simulates an unavailable numpy
+    without uninstalling it: an armed rule makes ``auto`` degrade to the
+    list kernels and an explicit ``"numpy"`` raise the same ``ValueError``
+    as a genuinely missing import.
     """
+    numpy_available = _np is not None and fault_fires("engine.numpy-import") is None
     if backend is None or backend == "auto":
         threshold = NUMPY_BACKEND_MIN_N_UNIFORM if uniform_lengths else NUMPY_BACKEND_MIN_N
-        if _np is not None and n >= threshold:
+        if numpy_available and n >= threshold:
             return "numpy"
         return "python"
     if backend == "python":
         return "python"
     if backend == "numpy":
-        if _np is None:
+        if not numpy_available:
             raise ValueError(
                 "backend='numpy' requires numpy, which is not installed; "
                 "install numpy or pass backend='python'"
@@ -224,6 +232,17 @@ class CostEngine:
     baseline of ``scripts/bench_speed.py --backend``'s giant floors).
     Neither knob changes any computed value — both paths are bit-identical
     to the references.
+
+    ``verify_every`` (default ``None`` = off) arms self-verification: every
+    ``verify_every``-th cache *hit* recomputes the served environment row
+    from scratch and compares elementwise.  A mismatch — a row corrupted
+    after it was filled — is never served silently: the engine emits a
+    ``RuntimeWarning``, counts it in ``stats["row_verify_failures"]``, drops
+    the node's cached rows, and rebuilds from the fresh recompute
+    (``stats["rows_verified"]`` counts the probes).  The engine also carries
+    the ``engine.row-poison``, ``engine.forced-evict``, ``engine.chunk-build``
+    and ``engine.numpy-import`` fault sites of :mod:`repro.reliability` for
+    exercising these paths deterministically.
     """
 
     def __init__(
@@ -234,6 +253,7 @@ class CostEngine:
         backend: Optional[str] = None,
         memory_budget_bytes: Optional[int] = None,
         giant_batch: bool = True,
+        verify_every: Optional[int] = None,
     ) -> None:
         # Only a weak back-reference to `game`: a strong one would pin the
         # WeakKeyDictionary entry in the per-game engine registry forever.
@@ -325,6 +345,17 @@ class CostEngine:
             else default_memory_budget(self.indexed.n)
         )
         self.giant_batch = bool(giant_batch)
+        # Self-verification sampling: every `verify_every`-th cache *hit*
+        # recomputes the served row from scratch and compares elementwise.
+        # A mismatch means the cached copy was corrupted after it was filled
+        # (a "poisoned" row); the engine warns, drops the node's caches, and
+        # rebuilds — it never silently serves the bad row again.
+        if verify_every is not None and verify_every < 1:
+            raise ValueError(
+                f"verify_every must be at least 1 (got {verify_every})"
+            )
+        self.verify_every = verify_every
+        self._verify_probes = 0
         self._ledger = ChunkLedger()
         # Nodes that lost cached rows to *budget* eviction (not staleness):
         # their next fill is a recompute the repair path could not have
@@ -357,6 +388,9 @@ class CostEngine:
             "noop_syncs": 0,
             "local_syncs": 0,
             "full_syncs": 0,
+            "rows_verified": 0,
+            "row_verify_failures": 0,
+            "chunk_build_failures": 0,
         }
         #: Wall-clock seconds spent inside batched traversal kernels (giant
         #: chunks, per-node prefetch, all_costs sweeps) — the bench profile's
@@ -1051,7 +1085,15 @@ class CostEngine:
         self._plan_chunks[chunk_index] = []
         for member, _ in chunk:
             self._plan_chunk_of.pop(member, None)
-        self._run_plan_chunk(u, chunk)
+        try:
+            self._run_plan_chunk(u, chunk)
+        except InjectedFault:
+            # Graceful degradation: a failed giant-chunk build (the
+            # `engine.chunk-build` fault site) is absorbed here — the chunk's
+            # bookkeeping is already cleared above, so every member simply
+            # falls through to the per-node fill path, which is bit-identical
+            # to the batched one.
+            self.stats["chunk_build_failures"] += 1
 
     def _run_plan_chunk(self, u: int, chunk: List[Tuple[int, List[int]]]) -> None:
         """Fill every missing planned row of ``chunk`` in one giant traversal.
@@ -1063,6 +1105,7 @@ class CostEngine:
         left untouched, which keeps the fill bit-identical to the per-row
         path.
         """
+        fault_point("engine.chunk-build", key=u)
         indexed = self.indexed
         n = indexed.n
         uniform = indexed.uniform_lengths
@@ -1214,6 +1257,11 @@ class CostEngine:
         """
         self._require_sync()
         self._maybe_run_plan(u)
+        if fault_fires("engine.forced-evict", key=u) is not None:
+            # Adversarial-eviction fault site: drop the least-recently-used
+            # chunk right under the probe (the probed node's own chunk is
+            # exempt).  Costs stay bit-identical — evicted rows recompute.
+            self._force_evict_chunk(keep={u})
         self._ensure_current(u)
         entry = self._env_cache.get(u)
         if entry is None:
@@ -1258,7 +1306,14 @@ class CostEngine:
                         u,
                     )
                 added = _payload_nbytes(row)
-            rows[first_hop] = row
+            if fault_fires("engine.row-poison", key=(u, first_hop)) is not None:
+                # Corruption fault site: cache a subtly-wrong copy while this
+                # call still returns the correct row — modelling a row that
+                # goes bad *after* it was filled.  Only verify_every sampling
+                # can catch it on a later cache hit.
+                rows[first_hop] = self._poisoned_copy(row)
+            else:
+                rows[first_hop] = row
             self.stats["rows_computed"] += 1
             if u in self._evicted_nodes:
                 self._evicted_nodes.discard(u)
@@ -1268,7 +1323,63 @@ class CostEngine:
                 self._evict_over_budget(keep={u})
         else:
             self.stats["rows_reused"] += 1
+            if self.verify_every is not None:
+                self._verify_probes += 1
+                if self._verify_probes >= self.verify_every:
+                    self._verify_probes = 0
+                    row = self._verify_row(u, first_hop, row)
         return row
+
+    def _poisoned_copy(self, row: Row) -> Row:
+        """A copy of ``row`` with its first finite entry nudged by ``+1.0``."""
+        poisoned = row.copy() if hasattr(row, "copy") else list(row)
+        for i in range(len(poisoned)):
+            value = float(poisoned[i])
+            if value != math.inf:
+                poisoned[i] = value + 1.0
+                break
+        return poisoned
+
+    def _force_evict_chunk(self, keep: Optional[Set[int]] = None) -> None:
+        """Drop one least-recently-used chunk regardless of the byte budget."""
+        victims = self._ledger.lru_nodes(exempt=keep)
+        if victims is None:
+            return
+        for node in victims:
+            self.stats["rows_evicted"] += self._drop_node(node)
+            self._evicted_nodes.add(node)
+        self.stats["chunks_evicted"] += 1
+
+    def _verify_row(self, u: int, first_hop: int, row: Row) -> Row:
+        """Recompute a served cache hit from scratch and compare elementwise.
+
+        A mismatch means the cached copy was corrupted after it was filled.
+        The engine never serves the bad row silently: it warns, counts the
+        failure in ``stats["row_verify_failures"]``, drops every cached row
+        of ``u`` (plus the whole-profile cost cache, which may have been
+        built from the bad row), re-inserts the fresh row, and returns it.
+        """
+        self.stats["rows_verified"] += 1
+        fresh = self._compute_row(first_hop, u)
+        n = len(row)
+        clean = n == len(fresh) and all(
+            float(row[i]) == float(fresh[i]) for i in range(n)
+        )
+        if clean:
+            return row
+        self.stats["row_verify_failures"] += 1
+        warnings.warn(
+            f"CostEngine self-verification: cached row (node {u}, first hop "
+            f"{first_hop}) does not match a fresh recompute; rebuilding the "
+            "node's caches",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self.stats["rows_evicted"] += self._drop_node(u)
+        self._all_costs_cache = None
+        self._env_cache[u] = (self.version, {first_hop: fresh})
+        self._ledger.add(u, _payload_nbytes(fresh))
+        return fresh
 
     def prefetch_env_rows(self, u: int, first_hops) -> None:
         """Compute every missing ``d_{G-u}`` row of ``first_hops`` in one batch.

@@ -44,6 +44,7 @@ regrets between the two within ``1e-9``.
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
@@ -60,6 +61,7 @@ except ImportError:  # pragma: no cover - exercised on the minimal CI leg
 
 from ..core.errors import BBCError, InvalidProfile
 from ..graphs.flow import FlowNetwork
+from ..reliability.faults import fault_point
 from .indexed import IndexedGame
 
 Node = Hashable
@@ -156,6 +158,8 @@ class FractionalEngine:
             "lp_skipped": 0,
             "lp_patched": 0,
             "lp_assembled": 0,
+            "lp_retries": 0,
+            "lp_fallbacks": 0,
             "noop_syncs": 0,
             "local_syncs": 0,
             "full_syncs": 0,
@@ -361,6 +365,13 @@ class FractionalEngine:
         skipped when a cached solve against an identical environment already
         proves the achievable minimum — in particular the equilibrium report
         right after converged dynamics solves no LPs at all.
+
+        A failed solve (solver failure, or the ``fractional.lp-solve`` fault
+        site) is retried once from a freshly assembled LP
+        (``stats["lp_retries"]``); a second failure falls back to the
+        reference FlowNetwork path for this call with a ``RuntimeWarning``
+        (``stats["lp_fallbacks"]``) — never a wrong answer, never an
+        unhandled scipy traceback.
         """
         from ..core.fractional import FractionalBestResponse
 
@@ -381,7 +392,34 @@ class FractionalEngine:
             self.stats["lp_skipped"] += 1
             best_cost, best_strategy = cached[1], dict(cached[2])
         else:
-            best_cost, best_strategy = self._solve_lp(u)
+            try:
+                best_cost, best_strategy = self._solve_lp(u)
+            except (BBCError, ValueError):
+                # Graceful degradation, step 1: a failed solve may be a stale
+                # patched skeleton — drop it and retry once from a fresh
+                # assembly.
+                self.stats["lp_retries"] += 1
+                self._lp_cache.pop(u, None)
+                try:
+                    best_cost, best_strategy = self._solve_lp(u)
+                except (BBCError, ValueError) as exc:
+                    # Step 2: fall back to the reference FlowNetwork/LP path
+                    # for this call only (nothing is cached, so a healthy
+                    # later solve resumes the fast path).  Never silent,
+                    # never an unhandled scipy traceback.
+                    self.stats["lp_fallbacks"] += 1
+                    warnings.warn(
+                        f"fractional best-response LP for node {node!r} failed "
+                        f"twice ({exc}); falling back to the reference "
+                        "FlowNetwork path for this call",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    from ..core.fractional import fractional_best_response
+
+                    return fractional_best_response(
+                        self._game_ref(), profile, node, engine=False
+                    )
             self._br_cache[u] = (stamp, best_cost, dict(best_strategy))
         if best_cost < current_cost - _IMPROVEMENT_EPS:
             return FractionalBestResponse(
@@ -435,6 +473,7 @@ class FractionalEngine:
                 start = 1 + d * per_block
                 b_ub[start : start + num_env] = caps_arr
 
+        fault_point("fractional.lp-solve", key=u)
         result = linprog(
             c=lp.c,
             A_ub=lp.A_ub,
@@ -444,7 +483,7 @@ class FractionalEngine:
             bounds=lp.bounds,
             method="highs",
         )
-        if not result.success:  # pragma: no cover - defensive
+        if not result.success:
             raise BBCError(f"fractional best-response LP failed: {result.message}")
         self.stats["lp_solved"] += 1
         labels = self.indexed.labels

@@ -6,7 +6,13 @@ from .dynamics_study import (
     max_cost_first_convergence_study,
     scheduler_comparison_study,
 )
-from .parallel import GameSpec, default_processes, parallel_map, resolve_processes
+from .parallel import (
+    GameSpec,
+    default_processes,
+    last_run_stats,
+    parallel_map,
+    resolve_processes,
+)
 from .workloads import (
     empty_initial_profile,
     interest_cluster_game,
@@ -29,6 +35,7 @@ __all__ = [
     "engine_reuse_study",
     "GameSpec",
     "default_processes",
+    "last_run_stats",
     "parallel_map",
     "resolve_processes",
 ]

@@ -17,7 +17,8 @@ their independent cells out through :func:`repro.experiments.parallel_map`:
 starting profiles are drawn up front from the study's seed stream (so the
 cells no longer share mutable state) and each worker rebuilds its game from a
 :class:`~repro.experiments.parallel.GameSpec`.  Rows are identical at any
-process count.
+process count.  The parallel studies pass ``journal`` through to
+``parallel_map``, so a killed grid resumes from its completed cells.
 """
 
 from __future__ import annotations
@@ -65,6 +66,7 @@ def max_cost_first_convergence_study(
     max_rounds: int = 80,
     seed: SeedLike = 0,
     processes: int = 1,
+    journal=None,
 ) -> List[Row]:
     """Observation 1: max-cost-first walks from random starts may cycle."""
     rng = as_rng(seed)
@@ -75,6 +77,7 @@ def max_cost_first_convergence_study(
         _walk_cell,
         [(spec, profile, "max_cost_first", max_rounds) for profile in starts],
         processes=processes,
+        journal=journal,
     )
     return [
         {"start": start_index, "n": n, "k": k, **outcome}
@@ -96,6 +99,7 @@ def empty_start_convergence_study(
     *,
     max_rounds: int = 120,
     processes: int = 1,
+    journal=None,
 ) -> List[Row]:
     """Observation 2: the empty-graph start appears to converge to stability."""
     specs = [GameSpec.from_game(UniformBBCGame(n, k)) for n in sizes]
@@ -103,6 +107,7 @@ def empty_start_convergence_study(
         _empty_start_cell,
         [(spec, max_rounds) for spec in specs],
         processes=processes,
+        journal=journal,
     )
     return [
         {"n": n, "k": k, **outcome} for n, outcome in zip(sizes, outcomes)
@@ -195,6 +200,7 @@ def scheduler_comparison_study(
     max_rounds: int = 80,
     seed: SeedLike = 0,
     processes: int = 1,
+    journal=None,
 ) -> List[Row]:
     """Compare round-robin, random, and max-cost-first schedules head to head.
 
@@ -212,4 +218,5 @@ def scheduler_comparison_study(
             for scheduler in ("round_robin", "random", "max_cost_first")
         ],
         processes=processes,
+        journal=journal,
     )

@@ -44,11 +44,15 @@ def test_missing_file_fails(tmp_path, capsys):
     assert "run the benchmarks first" in capsys.readouterr().err
 
 
-def test_invalid_json_fails(tmp_path, capsys):
+def test_corrupt_json_exits_two_with_distinct_message(tmp_path, capsys):
+    # A recording that exists but cannot be parsed is its own failure class
+    # (exit 2): with atomic writes it signals disk corruption or a manual
+    # edit, not an interrupted benchmark.
     path = tmp_path / "BENCH_speed.json"
     path.write_text("{not json")
-    assert bench_speed.check_floors(path) == 1
-    assert "not valid JSON" in capsys.readouterr().err
+    assert bench_speed.check_floors(path) == 2
+    err = capsys.readouterr().err
+    assert "CORRUPT RECORDING" in err and "atomic" in err
 
 
 def test_passing_floors_exit_zero_and_name_checked_modes(tmp_path, capsys):

@@ -1,0 +1,632 @@
+"""The fault-tolerant execution runtime, driven by deterministic fault injection.
+
+Every entry point must, under any seeded :class:`FaultPlan`, either return a
+result bit-identical to its fault-free run or raise the documented typed
+error — never a wrong answer, never an unhandled ``multiprocessing``/scipy
+traceback.  These tests pin that contract for the fault harness itself, the
+crash-safe ``parallel_map`` (worker crashes, hung tasks, dead pools, retry
+policies), the checkpoint journal (kill/resume parity for study grids and
+exhaustive sweeps), and the engines' graceful-degradation paths
+(``verify_every`` row self-verification, chunk-build fallback, LP
+retry-then-reference fallback, numpy-import gating).
+"""
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import UniformBBCGame
+from repro.core.profile import StrategyProfile
+from repro.core.search import exhaustive_equilibrium_search
+from repro.engine import CostEngine, resolve_backend
+from repro.experiments.dynamics_study import max_cost_first_convergence_study
+from repro.experiments.parallel import GameSpec, last_run_stats, parallel_map
+from repro.reliability import (
+    CheckpointError,
+    CheckpointJournal,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_faults,
+    atomic_write_text,
+    current_plan,
+    fault_point,
+)
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+
+def square(x):
+    return x * x
+
+
+def ring_profile(game):
+    nodes = list(game.nodes)
+    n = len(nodes)
+    return StrategyProfile(
+        {u: frozenset({nodes[(i + 1) % n]}) for i, u in enumerate(nodes)}
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The fault harness itself
+# --------------------------------------------------------------------------- #
+class TestFaultHarness:
+    def test_sites_are_inert_without_a_plan(self):
+        assert current_plan() is None
+        fault_point("anything", key=(1, 2))  # must be a no-op
+
+    def test_error_rule_raises_typed_injected_fault(self):
+        plan = FaultPlan(rules=(FaultRule(site="s"),))
+        with active_faults(plan):
+            with pytest.raises(InjectedFault) as excinfo:
+                fault_point("s", key=7)
+        assert excinfo.value.site == "s"
+        assert excinfo.value.key == 7
+        assert isinstance(excinfo.value, Exception)
+
+    def test_active_faults_restores_previous_plan(self):
+        outer = FaultPlan(rules=(FaultRule(site="outer"),))
+        inner = FaultPlan(rules=(FaultRule(site="inner"),))
+        with active_faults(outer):
+            with active_faults(inner):
+                assert current_plan() is inner
+            assert current_plan() is outer
+        assert current_plan() is None
+
+    def test_keys_restrict_firing(self):
+        plan = FaultPlan(rules=(FaultRule(site="s", keys=frozenset({3}), times=None),))
+        with active_faults(plan):
+            fault_point("s", key=2)
+            with pytest.raises(InjectedFault):
+                fault_point("s", key=3)
+
+    def test_after_and_times_open_an_occurrence_window(self):
+        plan = FaultPlan(rules=(FaultRule(site="s", after=2, times=1),))
+        with active_faults(plan):
+            fault_point("s")
+            fault_point("s")
+            with pytest.raises(InjectedFault):
+                fault_point("s")
+            fault_point("s")  # window exhausted
+
+    def test_crash_rules_default_to_worker_scope(self):
+        rule = FaultRule(site="s", kind="crash")
+        assert rule.where == "worker"
+        # ... so an armed crash rule cannot kill the test process itself.
+        with active_faults(FaultPlan(rules=(rule,))):
+            fault_point("s")
+
+    def test_seeded_coin_is_deterministic_and_seed_dependent(self):
+        plan_a = FaultPlan.seeded(1, ["s"], probability=0.5)
+        plan_b = FaultPlan.seeded(1, ["s"], probability=0.5)
+        fired_a = [plan_a.match("s", key=i) is not None for i in range(64)]
+        fired_b = [plan_b.match("s", key=i) is not None for i in range(64)]
+        assert fired_a == fired_b
+        assert any(fired_a) and not all(fired_a)
+        plan_c = FaultPlan.seeded(2, ["s"], probability=0.5)
+        assert fired_a != [plan_c.match("s", key=i) is not None for i in range(64)]
+
+    def test_unknown_kind_and_scope_are_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="meltdown")
+        with pytest.raises(ValueError):
+            FaultRule(site="s", where="moon")
+
+
+# --------------------------------------------------------------------------- #
+# Checkpoint journal
+# --------------------------------------------------------------------------- #
+class TestCheckpointJournal:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = CheckpointJournal(path)
+        journal.record("cell:0", {"x": 1.5})
+        journal.record("cell:1", None)
+        reloaded = CheckpointJournal(path)
+        assert len(reloaded) == 2
+        assert "cell:0" in reloaded and reloaded.get("cell:0") == {"x": 1.5}
+        assert reloaded.get("cell:1", "missing") is None
+        assert reloaded.get("cell:9", "missing") == "missing"
+
+    def test_writes_are_atomic(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = CheckpointJournal(path)
+        journal.record("k", 1)
+        assert not (tmp_path / "j.json.tmp").exists()
+        assert json.loads(path.read_text())["entries"] == {"k": 1}
+
+    def test_corrupt_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="unreadable or corrupt"):
+            CheckpointJournal(path)
+
+    def test_foreign_json_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text('{"some": "other file"}')
+        with pytest.raises(CheckpointError, match="not a repro-checkpoint-v1"):
+            CheckpointJournal(path)
+
+    def test_meta_binding_rejects_a_different_run(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = CheckpointJournal(path)
+        journal.bind_meta({"radices": [2, 2]})
+        reloaded = CheckpointJournal(path)
+        reloaded.bind_meta({"radices": [2, 2]})  # same shape: fine
+        with pytest.raises(CheckpointError, match="different run"):
+            reloaded.bind_meta({"radices": [3, 2]})
+
+    def test_flush_every_batches_disk_writes(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = CheckpointJournal(path, flush_every=3)
+        journal.record("a", 1)
+        journal.record("b", 2)
+        assert not path.exists()
+        journal.record("c", 3)
+        assert len(CheckpointJournal(path)) == 3
+
+    def test_atomic_write_text_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        assert not (tmp_path / "out.txt.tmp").exists()
+
+
+# --------------------------------------------------------------------------- #
+# parallel_map: crash-safe fan-out
+# --------------------------------------------------------------------------- #
+class TestParallelMap:
+    ITEMS = list(range(6))
+    EXPECTED = [0, 1, 4, 9, 16, 25]
+
+    def test_serial_and_pool_agree(self):
+        assert parallel_map(square, self.ITEMS, processes=1) == self.EXPECTED
+        assert parallel_map(square, self.ITEMS, processes=3) == self.EXPECTED
+
+    def test_injected_error_is_retried_in_pool(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="parallel.task", keys=frozenset({(2, 0)})),)
+        )
+        with active_faults(plan):
+            assert parallel_map(square, self.ITEMS, processes=2) == self.EXPECTED
+        assert last_run_stats()["retried"] == 1
+
+    def test_worker_crash_restarts_the_pool_bit_identically(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="parallel.task", kind="crash", keys=frozenset({(1, 0)})),
+            )
+        )
+        with active_faults(plan):
+            assert parallel_map(square, self.ITEMS, processes=2) == self.EXPECTED
+        stats = last_run_stats()
+        assert stats["pool_restarts"] >= 1
+        assert stats["crashed"] >= 1
+        assert stats["serial_fallback_cells"] == 0
+
+    def test_exhausted_restarts_fall_back_serially_with_warning(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="parallel.task", kind="crash", keys=frozenset({(1, 0), (1, 1)})
+                ),
+            )
+        )
+        with active_faults(plan):
+            with pytest.warns(RuntimeWarning, match="pool died mid-run.*serially"):
+                got = parallel_map(
+                    square, self.ITEMS, processes=2, max_pool_restarts=0
+                )
+        assert got == self.EXPECTED
+        assert last_run_stats()["serial_fallback_cells"] >= 1
+
+    def test_pool_start_failure_degrades_to_serial(self):
+        plan = FaultPlan(rules=(FaultRule(site="parallel.pool-start"),))
+        with active_faults(plan):
+            with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+                got = parallel_map(square, self.ITEMS, processes=2)
+        assert got == self.EXPECTED
+
+    def test_hung_task_is_recovered_via_timeout(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="parallel.task",
+                    kind="sleep",
+                    seconds=5.0,
+                    keys=frozenset({(0, 0)}),
+                ),
+            )
+        )
+        with active_faults(plan):
+            got = parallel_map(square, self.ITEMS, processes=2, timeout=0.4)
+        assert got == self.EXPECTED
+        stats = last_run_stats()
+        assert stats["timeouts"] >= 1
+
+    def test_on_error_raise_propagates_the_typed_error(self):
+        plan = FaultPlan(rules=(FaultRule(site="parallel.task", times=None),))
+        with active_faults(plan):
+            with pytest.raises(InjectedFault):
+                parallel_map(square, self.ITEMS, processes=2, retries=1)
+
+    def test_on_error_skip_yields_none_with_warning(self):
+        # Fail cell 2 on every pool attempt; the serial rung runs in the
+        # parent where worker-scoped rules stay silent, so scope this rule
+        # everywhere to keep the cell failing through all rungs.
+        keys = frozenset((2, attempt) for attempt in range(4))
+        plan = FaultPlan(
+            rules=(FaultRule(site="parallel.task", keys=keys, times=None),)
+        )
+        with active_faults(plan):
+            with pytest.warns(RuntimeWarning, match="skipped 1 of 6 cells"):
+                got = parallel_map(
+                    square, self.ITEMS, processes=2, retries=1, on_error="skip"
+                )
+        assert got == [0, 1, None, 9, 16, 25]
+        assert last_run_stats()["skipped"] == 1
+
+    def test_on_error_retry_serial_recovers_worker_only_failures(self):
+        # The rule fires only inside workers, so the final serial re-run in
+        # the parent process succeeds.
+        keys = frozenset((2, attempt) for attempt in range(4))
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="parallel.task", keys=keys, times=None, where="worker"),
+            )
+        )
+        with active_faults(plan):
+            got = parallel_map(
+                square, self.ITEMS, processes=2, retries=1, on_error="retry-serial"
+            )
+        assert got == self.EXPECTED
+
+    def test_invalid_arguments_are_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            parallel_map(square, [1], on_error="explode")
+        with pytest.raises(ValueError, match="retries"):
+            parallel_map(square, [1], retries=-1)
+        with pytest.raises(ValueError, match="max_pool_restarts"):
+            parallel_map(square, [1], max_pool_restarts=-1)
+
+    def test_journal_resume_skips_completed_cells(self, tmp_path):
+        path = tmp_path / "cells.json"
+        first = parallel_map(square, self.ITEMS, journal=path)
+        assert first == self.EXPECTED
+        # Resume: arm a fault on every task attempt — it must never fire,
+        # proving no cell re-executes.
+        plan = FaultPlan(rules=(FaultRule(site="parallel.task", times=None),))
+        with active_faults(plan):
+            second = parallel_map(square, self.ITEMS, processes=2, journal=path)
+        assert second == self.EXPECTED
+        assert last_run_stats()["journal_hits"] == len(self.ITEMS)
+
+    def test_partial_journal_fills_only_missing_cells(self, tmp_path):
+        path = tmp_path / "cells.json"
+        journal = CheckpointJournal(path)
+        journal.record("cell:0", 0)
+        journal.record("cell:3", 9)
+        got = parallel_map(square, self.ITEMS, journal=journal)
+        assert got == self.EXPECTED
+        assert last_run_stats()["journal_hits"] == 2
+        assert len(journal) == len(self.ITEMS)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        processes=st.sampled_from([1, 2, 3]),
+        retries=st.integers(0, 2),
+        crash_seed=st.integers(0, 1_000),
+    )
+    def test_results_are_bit_identical_under_any_crash_schedule(
+        self, processes, retries, crash_seed
+    ):
+        """The acceptance invariant, across all three axes at once.
+
+        A seeded plan crashes a pseudo-random subset of first task attempts
+        (worker-scoped, so pool generations die and restart); results must
+        equal the fault-free serial run no matter the process count, retry
+        budget, or crash schedule.
+        """
+        items = list(range(8))
+        expected = [x * x for x in items]
+        plan = FaultPlan.seeded(
+            crash_seed, ["parallel.task"], probability=0.25, kind="crash", times=3
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with active_faults(plan):
+                got = parallel_map(
+                    square, items, processes=processes, retries=retries
+                )
+        assert got == expected
+
+
+# --------------------------------------------------------------------------- #
+# GameSpec regression
+# --------------------------------------------------------------------------- #
+class OverriddenUniform(UniformBBCGame):
+    """A uniform subclass whose tables (n, k) alone cannot encode."""
+
+    def __init__(self, n, k):
+        super().__init__(n, k)
+        self._budgets[0] = 0.0
+
+
+class TestGameSpec:
+    def test_exact_uniform_type_takes_the_uniform_spec(self):
+        assert GameSpec.from_game(UniformBBCGame(5, 2)).kind == "uniform"
+
+    def test_uniform_subclass_takes_the_general_spec(self):
+        spec = GameSpec.from_game(OverriddenUniform(5, 2))
+        assert spec.kind == "general"
+        rebuilt = spec.build()
+        # The general spec captured the subclass's actual budget table,
+        # which the (n, k) uniform spec would have lost.
+        assert rebuilt.budget(0) == 0.0
+        assert rebuilt.budget(1) == UniformBBCGame(5, 2).budget(1)
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance: study grid with a worker killed mid-run == serial
+# --------------------------------------------------------------------------- #
+class TestStudyGridCrashParity:
+    def test_killed_worker_mid_grid_completes_identical_to_serial(self):
+        serial = max_cost_first_convergence_study(
+            7, 2, num_starts=4, max_rounds=15, seed=0, processes=1
+        )
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="parallel.task", kind="crash", keys=frozenset({(2, 0)})),
+            )
+        )
+        with active_faults(plan):
+            crashed = max_cost_first_convergence_study(
+                7, 2, num_starts=4, max_rounds=15, seed=0, processes=2
+            )
+        assert crashed == serial
+        assert last_run_stats()["pool_restarts"] >= 1
+
+    def test_killed_grid_resumes_from_journal(self, tmp_path):
+        path = tmp_path / "grid.json"
+        serial = max_cost_first_convergence_study(
+            7, 2, num_starts=4, max_rounds=15, seed=0, processes=1
+        )
+        # First run dies on cell 2: fail every pool retry attempt so the
+        # default on_error="raise" policy aborts the grid mid-run.  The other
+        # cells were journalled as they completed.
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="parallel.task",
+                    keys=frozenset((2, attempt) for attempt in range(4)),
+                    times=None,
+                ),
+            )
+        )
+        with active_faults(plan):
+            with pytest.raises(InjectedFault):
+                max_cost_first_convergence_study(
+                    7, 2, num_starts=4, max_rounds=15, seed=0,
+                    processes=2, journal=path,
+                )
+        assert len(CheckpointJournal(path)) >= 1
+        resumed = max_cost_first_convergence_study(
+            7, 2, num_starts=4, max_rounds=15, seed=0, processes=1, journal=path
+        )
+        assert resumed == serial
+        assert last_run_stats()["journal_hits"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Checkpointed exhaustive sweeps
+# --------------------------------------------------------------------------- #
+class TestSearchJournal:
+    def run(self, game, **kwargs):
+        return exhaustive_equilibrium_search(game, stop_at_first=False, **kwargs)
+
+    def test_killed_sweep_resumes_without_recomputing(self, tmp_path):
+        game = UniformBBCGame(4, 1)
+        path = tmp_path / "search.json"
+        baseline = self.run(game)
+        # Kill the sweep at profile 10 (block 2 of checkpoint_every=4).
+        plan = FaultPlan(rules=(FaultRule(site="search.profile", keys=frozenset({10})),))
+        with active_faults(plan):
+            with pytest.raises(InjectedFault):
+                self.run(game, journal=path, checkpoint_every=4)
+        assert len(CheckpointJournal(path)) >= 2
+        # Resume with a fault armed *inside a completed block*: it must never
+        # fire, proving journalled profiles are not re-checked.
+        plan = FaultPlan(rules=(FaultRule(site="search.profile", keys=frozenset({1})),))
+        with active_faults(plan):
+            resumed = self.run(game, journal=path, checkpoint_every=4)
+        assert resumed == baseline
+
+    def test_stop_at_first_parity_fresh_and_resumed(self, tmp_path):
+        game = UniformBBCGame(4, 1)
+        path = tmp_path / "search.json"
+        baseline = exhaustive_equilibrium_search(game, stop_at_first=True)
+        fresh = exhaustive_equilibrium_search(
+            game, stop_at_first=True, journal=path, checkpoint_every=3
+        )
+        resumed = exhaustive_equilibrium_search(
+            game, stop_at_first=True, journal=path, checkpoint_every=3
+        )
+        assert fresh == baseline
+        assert resumed == baseline
+
+    def test_journal_is_bound_to_the_search_shape(self, tmp_path):
+        game = UniformBBCGame(4, 1)
+        path = tmp_path / "search.json"
+        self.run(game, journal=path, checkpoint_every=4)
+        with pytest.raises(CheckpointError, match="different run"):
+            self.run(game, journal=path, checkpoint_every=8)
+
+    def test_invalid_checkpoint_every_is_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            self.run(UniformBBCGame(4, 1), checkpoint_every=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(checkpoint_every=st.integers(1, 20), kill_at=st.integers(0, 80))
+    def test_resume_parity_for_any_block_size_and_kill_point(
+        self, tmp_path_factory, checkpoint_every, kill_at
+    ):
+        game = UniformBBCGame(4, 1)
+        baseline = self.run(game)
+        path = tmp_path_factory.mktemp("journals") / "search.json"
+        plan = FaultPlan(
+            rules=(FaultRule(site="search.profile", keys=frozenset({kill_at})),)
+        )
+        try:
+            with active_faults(plan):
+                self.run(game, journal=path, checkpoint_every=checkpoint_every)
+        except InjectedFault:
+            pass
+        resumed = self.run(game, journal=path, checkpoint_every=checkpoint_every)
+        assert resumed == baseline
+
+
+# --------------------------------------------------------------------------- #
+# Engine graceful degradation
+# --------------------------------------------------------------------------- #
+class TestCostEngineDegradation:
+    def test_verify_every_detects_a_poisoned_row(self):
+        game = UniformBBCGame(8, 2)
+        profile = ring_profile(game)
+        reference = CostEngine(game)
+        reference.sync(profile)
+        clean = [float(x) for x in reference.env_row(0, 1)]
+
+        plan = FaultPlan(rules=(FaultRule(site="engine.row-poison", times=1),))
+        with active_faults(plan):
+            engine = CostEngine(game, verify_every=1)
+            engine.sync(profile)
+            first = engine.env_row(0, 1)  # fill: the cached copy is poisoned
+            assert [float(x) for x in first] == clean
+            with pytest.warns(RuntimeWarning, match="self-verification"):
+                second = engine.env_row(0, 1)  # hit: verification catches it
+        assert [float(x) for x in second] == clean
+        assert engine.stats["row_verify_failures"] == 1
+        assert engine.stats["rows_verified"] == 1
+        # The rebuilt row stays clean on later hits.
+        assert [float(x) for x in engine.env_row(0, 1)] == clean
+
+    def test_without_verification_the_poisoned_row_is_served(self):
+        # Documents why verify_every exists: an unverified engine serves the
+        # corrupted copy.
+        game = UniformBBCGame(8, 2)
+        profile = ring_profile(game)
+        reference = CostEngine(game)
+        reference.sync(profile)
+        clean = [float(x) for x in reference.env_row(0, 1)]
+        plan = FaultPlan(rules=(FaultRule(site="engine.row-poison", times=1),))
+        with active_faults(plan):
+            engine = CostEngine(game)
+            engine.sync(profile)
+            engine.env_row(0, 1)
+            served = engine.env_row(0, 1)
+        assert [float(x) for x in served] != clean
+
+    def test_verify_every_validates_its_argument(self):
+        with pytest.raises(ValueError, match="verify_every"):
+            CostEngine(UniformBBCGame(4, 1), verify_every=0)
+
+    def test_adversarial_evictions_stay_bit_identical(self):
+        from repro.core.best_response import best_response
+
+        game = UniformBBCGame(8, 2)
+        profile = ring_profile(game)
+        reference = [
+            best_response(game, profile, node, engine=False) for node in game.nodes
+        ]
+        plan = FaultPlan(rules=(FaultRule(site="engine.forced-evict", times=None),))
+        with active_faults(plan):
+            engine = CostEngine(game)
+            injected = [
+                best_response(game, profile, node, engine=engine)
+                for node in game.nodes
+            ]
+        assert injected == reference
+
+    def test_chunk_build_failure_degrades_to_per_node_fills(self):
+        game = UniformBBCGame(8, 2)
+        profile = ring_profile(game)
+        baseline = CostEngine(game)
+        baseline.sync(profile)
+        baseline.plan_report_prefetch(profile)
+        clean = [float(x) for x in baseline.env_row(0, 1)]
+        plan = FaultPlan(rules=(FaultRule(site="engine.chunk-build", times=None),))
+        with active_faults(plan):
+            engine = CostEngine(game)
+            engine.sync(profile)
+            engine.plan_report_prefetch(profile)
+            got = [float(x) for x in engine.env_row(0, 1)]
+        assert got == clean
+        if engine.giant_batch and engine.stats["chunk_build_failures"] == 0:
+            pytest.skip("game too small for a giant-batch plan")
+
+    def test_numpy_import_fault_degrades_auto_and_fails_explicit(self):
+        plan = FaultPlan(rules=(FaultRule(site="engine.numpy-import", times=None),))
+        with active_faults(plan):
+            assert resolve_backend("auto", 100_000, True) == "python"
+            assert resolve_backend(None, 100_000, False) == "python"
+            with pytest.raises(ValueError, match="requires numpy"):
+                resolve_backend("numpy", 100_000, True)
+        if HAVE_NUMPY:
+            assert resolve_backend("auto", 100_000, True) == "numpy"
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="FractionalEngine requires numpy/scipy")
+class TestFractionalLPFallback:
+    def setup_method(self):
+        pytest.importorskip("scipy")
+
+    def make(self):
+        from repro.core.fractional import FractionalBBCGame, FractionalProfile
+
+        game = FractionalBBCGame(UniformBBCGame(5, 2))
+        nodes = list(game.nodes)
+        profile = FractionalProfile(
+            {node: {nodes[(i + 1) % 5]: 1.0} for i, node in enumerate(nodes)}
+        )
+        return game, profile, nodes[0]
+
+    def test_failed_solve_is_retried_once(self):
+        from repro.core.fractional import fractional_best_response
+        from repro.engine import FractionalEngine
+
+        game, profile, node = self.make()
+        reference = fractional_best_response(game, profile, node, engine=False)
+        plan = FaultPlan(rules=(FaultRule(site="fractional.lp-solve", times=1),))
+        with active_faults(plan):
+            engine = FractionalEngine(game)
+            got = engine.best_response(profile, node)
+        assert abs(got.best_cost - reference.best_cost) < 1e-9
+        assert engine.stats["lp_retries"] == 1
+        assert engine.stats["lp_fallbacks"] == 0
+
+    def test_persistent_failure_falls_back_to_the_reference_path(self):
+        from repro.core.fractional import fractional_best_response
+        from repro.engine import FractionalEngine
+
+        game, profile, node = self.make()
+        reference = fractional_best_response(game, profile, node, engine=False)
+        plan = FaultPlan(rules=(FaultRule(site="fractional.lp-solve", times=None),))
+        with active_faults(plan):
+            engine = FractionalEngine(game)
+            with pytest.warns(RuntimeWarning, match="falling back to the reference"):
+                got = engine.best_response(profile, node)
+        assert abs(got.best_cost - reference.best_cost) < 1e-9
+        assert engine.stats["lp_fallbacks"] == 1
+        # A healthy later call resumes the LP fast path.
+        healthy = engine.best_response(profile, node)
+        assert abs(healthy.best_cost - reference.best_cost) < 1e-9
+        assert engine.stats["lp_solved"] == 1
