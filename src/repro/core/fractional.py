@@ -55,7 +55,6 @@ from .game import BBCGame
 from .objectives import Objective
 
 Node = Hashable
-FractionalStrategy = Dict[Node, float]
 
 _EPS = 1e-7
 
@@ -226,9 +225,9 @@ class FractionalBBCGame:
         """
         from ..engine import resolve_fractional_engine
 
-        resolved = resolve_fractional_engine(self, engine)
-        if resolved is not None:
-            return resolved.destination_cost(profile, source, destination)
+        resolved_engine = resolve_fractional_engine(self, engine)
+        if resolved_engine is not None:
+            return resolved_engine.destination_cost(profile, source, destination)
         network = FlowNetwork()
         network.add_node(source)
         network.add_node(destination)
@@ -244,9 +243,9 @@ class FractionalBBCGame:
         """Return the preference-weighted sum of unit-flow costs for ``node``."""
         from ..engine import resolve_fractional_engine
 
-        resolved = resolve_fractional_engine(self, engine)
-        if resolved is not None:
-            return resolved.node_cost(profile, node)
+        resolved_engine = resolve_fractional_engine(self, engine)
+        if resolved_engine is not None:
+            return resolved_engine.node_cost(profile, node)
         total = 0.0
         for target in self.nodes:
             if target == node:
@@ -261,9 +260,9 @@ class FractionalBBCGame:
         """Return the cost of every node under ``profile``."""
         from ..engine import resolve_fractional_engine
 
-        resolved = resolve_fractional_engine(self, engine)
-        if resolved is not None:
-            return resolved.all_costs(profile)
+        resolved_engine = resolve_fractional_engine(self, engine)
+        if resolved_engine is not None:
+            return resolved_engine.all_costs(profile)
         return {node: self.node_cost(profile, node, engine=False) for node in self.nodes}
 
     def social_cost(self, profile: FractionalProfile, *, engine=None) -> float:
@@ -308,9 +307,9 @@ def fractional_best_response(
     """
     from ..engine import resolve_fractional_engine
 
-    resolved = resolve_fractional_engine(game, engine)
-    if resolved is not None:
-        return resolved.best_response(profile, node)
+    resolved_engine = resolve_fractional_engine(game, engine)
+    if resolved_engine is not None:
+        return resolved_engine.best_response(profile, node)
     if linprog is None:
         raise BestResponseUnavailable(
             "fractional best responses solve an LP and require numpy and "

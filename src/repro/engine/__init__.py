@@ -201,6 +201,42 @@ harness of :mod:`repro.reliability` (seeded :class:`~repro.reliability
   A corrupt or mismatched journal raises
   :class:`~repro.reliability.CheckpointError`.
 
+**Invariants.**  The contracts above are cross-cutting conventions — easy to
+hold in one PR, easy to erode over twenty.  Each one is therefore enforced
+twice: statically by a rule of the in-repo AST linter
+(``python -m repro.tooling.lint``, run by CI on both dependency legs) and
+dynamically by the parity/fault suite.  The mapping:
+
+* *Optional-stack degradation* — numpy/scipy only ever imported behind a
+  module-level ``try/except ImportError`` gate, so the minimal CI leg
+  imports everything.  Lint rule **RPR001**; runtime proof: the whole suite
+  on the minimal leg plus the live ``engine.numpy-import`` degradation check.
+* *Determinism* — no interpreter-global RNG state, no wall-clock seeds;
+  every stochastic entry point threads a ``SeedLike`` through
+  :func:`repro.rng.as_rng`.  Lint rule **RPR002**; runtime proof: the
+  replay/identical-summary pins in ``tests/test_reliability.py`` and the
+  seeded-walk traces in ``tests/test_engine_parity.py``.
+* *Engine threading* — a routed entry point that accepts the tri-state
+  ``engine=`` kwarg passes it down to every engine-aware callee, else a walk
+  silently mixes shared-engine and reference paths.  Lint rule **RPR003**;
+  runtime proof: ``tests/test_engine_parity.py`` pins both paths
+  bit-identical, so a dropped kwarg is a perf bug before it is a wrong one.
+* *Fault-site registry* — every ``fault_point`` site literal is declared in
+  :mod:`repro.reliability.sites` (tests use the reserved ``test.``
+  namespace), so a typo'd :class:`~repro.reliability.FaultRule` cannot
+  silently never fire.  Lint rule **RPR004**; runtime proof:
+  :class:`~repro.reliability.UnknownFaultSiteWarning` warns once per unknown
+  site at plan construction.
+* *Cost comparison* — cost-typed floats never compared with ``==``/``!=``
+  in ``core``/``engine``; the documented tolerance is ``1e-9``.  Lint rule
+  **RPR005**; runtime proof: the parity suites compare exact where exactness
+  is guaranteed (int space, sums below ``2**53``) and within tolerance
+  elsewhere.
+* *Cache aliasing* — public engine methods return cached rows only as
+  copies or under an explicit ``# repro: readonly`` annotation with a
+  docstring contract.  Lint rule **RPR006**; runtime proof:
+  ``verify_every`` recomputation catches a caller that mutated a shared row.
+
 **The fractional contract.**  The fractional relaxation
 (:mod:`repro.core.fractional`) has its own engine,
 :class:`~repro.engine.fractional_engine.FractionalEngine`, built on the same

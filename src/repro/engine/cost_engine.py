@@ -1254,6 +1254,11 @@ class CostEngine:
         hop costs at most one SSSP no matter how many strategies probe it,
         and rows stranded at an older version by single-node syncs are
         repaired in place before use.
+
+        The returned row is the *cached object itself* — shared read-only by
+        contract (lint rule RPR006).  Callers never mutate it: scorers copy
+        before patching (see :meth:`StrategyScorer._through_row`), and a
+        mutated return would corrupt every later read at this version.
         """
         self._require_sync()
         self._maybe_run_plan(u)
@@ -1328,7 +1333,7 @@ class CostEngine:
                 if self._verify_probes >= self.verify_every:
                     self._verify_probes = 0
                     row = self._verify_row(u, first_hop, row)
-        return row
+        return row  # repro: readonly — the cached row itself, never mutated by callers
 
     def _poisoned_copy(self, row: Row) -> Row:
         """A copy of ``row`` with its first finite entry nudged by ``+1.0``."""
@@ -1470,7 +1475,7 @@ class CostEngine:
                 # version so repeated probes do not inflate the stat.
                 self._reuse_counted.add(u)
                 self.stats["rows_reused"] += len(rows)
-        return rows
+        return rows  # repro: readonly — live cache dict, filled lazily by scorers
 
     def sub_rows(self, u: int) -> Dict[int, Row]:
         """Return the penalty-substituted target slices for masked node ``u``.
@@ -1489,7 +1494,7 @@ class CostEngine:
             self._sub_cache[u] = (self.version, rows)
         else:
             rows = entry[1]
-        return rows
+        return rows  # repro: readonly — live cache dict, filled lazily by scorers
 
     def _note_derived_row(
         self, u: int, cache_name: str, rows: Dict[int, Row], row

@@ -311,7 +311,7 @@ class FractionalEngine:
         cached = self._dest_cache.get(key)
         if cached is not None:
             self.stats["dest_cached"] += 1
-            return cached
+            return cached  # repro: readonly — an immutable float, aliasing is harmless
         cost = self._costs_with_own(s, self._strategies[s], (d,))[0]
         self._dest_cache[key] = cost
         return cost

@@ -6,7 +6,7 @@ seed so every experiment in the benchmark harness is reproducible.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..rng import SeedLike, as_rng as _rng
 from .digraph import DiGraph
@@ -179,15 +179,3 @@ def relabel(graph: DiGraph, mapping: dict) -> DiGraph:
     for tail, head, data in graph.edges_with_data():
         renamed.add_edge(mapping.get(tail, tail), mapping.get(head, head), **dict(data))
     return renamed
-
-
-def out_neighbour_lists(graph: DiGraph) -> dict:
-    """Return ``{node: sorted list of successors}`` (handy for golden tests)."""
-    return {node: sorted(graph.successors(node)) for node in graph.nodes()}
-
-
-def nodes_without_outgoing_edges(graph: DiGraph) -> Iterable:
-    """Yield nodes with out-degree zero (useful for sanity checks)."""
-    for node in graph.nodes():
-        if graph.out_degree(node) == 0:
-            yield node

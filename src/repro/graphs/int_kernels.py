@@ -304,7 +304,7 @@ def repair_hops_csr(
 
     # Added arcs from still-reachable movers may shorten distances; movers
     # that are themselves orphaned relax their new arcs when they pop.
-    for mover, (removed, added) in edit_map.items():
+    for mover, (_removed, added) in edit_map.items():
         dm = hops[mover]
         if dm < 0:
             continue
@@ -403,7 +403,7 @@ def repair_dijkstra_csr(
     else:
         affected = set()
 
-    for mover, (removed, added) in edit_map.items():
+    for mover, (_removed, added) in edit_map.items():
         dm = dist[mover]
         if dm == inf:
             continue

@@ -783,7 +783,7 @@ def repair_hops_csr_np(
         work, affected, rev_indptr, rev_tails,
         unit_pair_weight, forbidden, INT_UNREACHED,
     )
-    for mover, (removed, added) in edit_map.items():
+    for mover, (_removed, added) in edit_map.items():
         dm = hops[mover]
         if dm < 0 or affected[mover]:
             continue
@@ -850,7 +850,7 @@ def repair_dijkstra_csr_np(
         work, affected, rev_indptr, rev_tails,
         lambda tails, heads: length_matrix[tails, heads], forbidden, np.inf,
     )
-    for mover, (removed, added) in edit_map.items():
+    for mover, (_removed, added) in edit_map.items():
         dm = dist_row[mover]
         if dm == float("inf") or affected[mover]:
             continue

@@ -8,7 +8,7 @@ metrics.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from .apsp import all_pairs_hop_distances
 from .bfs import bfs_distances, reach
@@ -115,8 +115,3 @@ def connectivity_summary(graph: DiGraph) -> Dict[str, object]:
         "max_reach": max(reaches.values()) if reaches else 0,
         "out_regular": is_out_regular(graph),
     }
-
-
-def node_order(graph: DiGraph) -> List[Node]:
-    """Return the nodes in a stable (sorted-by-repr) order for reporting."""
-    return sorted(graph.nodes(), key=repr)

@@ -31,6 +31,7 @@ from .faults import (
     InjectedFault,
     ParallelExecutionError,
     ReliabilityError,
+    UnknownFaultSiteWarning,
     active_faults,
     clear_fault_plan,
     current_plan,
@@ -40,6 +41,12 @@ from .faults import (
     mark_worker_process,
 )
 from .journal import CheckpointJournal, atomic_write_text, resolve_journal
+from .sites import (
+    REGISTERED_FAULT_SITES,
+    TEST_SITE_NAMESPACE,
+    is_registered_fault_site,
+    register_fault_site,
+)
 
 __all__ = [
     "CRASH_EXIT_CODE",
@@ -49,7 +56,10 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "ParallelExecutionError",
+    "REGISTERED_FAULT_SITES",
     "ReliabilityError",
+    "TEST_SITE_NAMESPACE",
+    "UnknownFaultSiteWarning",
     "active_faults",
     "atomic_write_text",
     "clear_fault_plan",
@@ -57,6 +67,8 @@ __all__ = [
     "fault_fires",
     "fault_point",
     "install_fault_plan",
+    "is_registered_fault_site",
     "mark_worker_process",
+    "register_fault_site",
     "resolve_journal",
 ]

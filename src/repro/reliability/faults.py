@@ -38,12 +38,25 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 from ..core.errors import BBCError
+from .sites import is_registered_fault_site
+
+
+class UnknownFaultSiteWarning(UserWarning):
+    """A :class:`FaultRule` targets a site no code registers.
+
+    The rule can never fire — almost always an injection-config typo, which
+    would otherwise make a fault-tolerance test silently assert nothing.
+    Sites in the reserved ``test.`` namespace are exempt (see
+    :mod:`repro.reliability.sites`); lint rule RPR004 enforces the same
+    contract statically.
+    """
 
 
 class ReliabilityError(BBCError):
@@ -130,6 +143,8 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         self.rules = tuple(self.rules)
+        for rule in self.rules:
+            _warn_unknown_site(rule.site)
 
     @classmethod
     def seeded(
@@ -180,6 +195,25 @@ class FaultPlan:
                 continue
             return rule
         return None
+
+
+#: Sites already warned about in this process — the warning fires once per
+#: typo, not once per plan copy (plans are pickled to every pool worker).
+_WARNED_UNKNOWN_SITES: Set[str] = set()
+
+
+def _warn_unknown_site(site: str) -> None:
+    if is_registered_fault_site(site) or site in _WARNED_UNKNOWN_SITES:
+        return
+    _WARNED_UNKNOWN_SITES.add(site)
+    warnings.warn(
+        f"FaultRule targets unregistered fault site {site!r}: no fault_point "
+        "carries that name, so the rule can never fire. Check for a typo "
+        "against repro.reliability.sites.REGISTERED_FAULT_SITES, or use the "
+        "reserved 'test.' namespace for abstract unit-test sites.",
+        UnknownFaultSiteWarning,
+        stacklevel=3,
+    )
 
 
 #: The installed plan of this process (``None`` = every site inert).
@@ -260,6 +294,7 @@ __all__ = [
     "InjectedFault",
     "ParallelExecutionError",
     "ReliabilityError",
+    "UnknownFaultSiteWarning",
     "active_faults",
     "clear_fault_plan",
     "current_plan",

@@ -1,0 +1,10 @@
+"""Developer tooling that ships with the package but never runs in hot paths.
+
+Currently one subsystem lives here: :mod:`repro.tooling.lint`, the AST-based
+invariant linter that enforces the engine's engineering contracts (gated
+optional imports, RNG determinism, ``engine=`` kwarg threading, the fault-site
+registry, float-equality discipline, and cache-aliasing rules) statically, in
+CI, on both dependency legs.  Everything under this package is stdlib-only by
+design — the minimal CI leg (no numpy/scipy) must be able to run it, because
+that is precisely the leg where a gated-import violation matters.
+"""

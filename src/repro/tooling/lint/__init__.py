@@ -1,0 +1,50 @@
+"""AST-based invariant linter for the engine's engineering contracts.
+
+Seven PRs of engine growth rest on contracts that used to be enforced only
+at runtime — by parity tests, or by the minimal CI leg happening to execute
+the right branch.  Each is a *locally checkable* property of the source, so
+this package checks them statically, stdlib-only (the minimal leg runs it
+too), as ``python -m repro.tooling.lint``:
+
+========  ==============================================================
+RPR001    module-level numpy/scipy imports must sit behind try/except
+          ImportError gates (minimal-leg import purity)
+RPR002    no global-state RNG calls, no wall-clock seeds — randomness
+          routes through :func:`repro.rng.as_rng`
+RPR003    a function accepting the tri-state ``engine=`` kwarg must
+          forward it to engine-aware callees (call-graph check)
+RPR004    every literal fault site / ``FaultRule`` key must be registered
+          in ``src/repro/reliability/sites.py``
+RPR005    no ``==``/``!=`` on cost-typed expressions in ``core``/
+          ``engine`` — the documented 1e-9 tolerance rule applies
+RPR006    public engine methods must not return cache-aliased rows
+          without a copy or a ``# repro: readonly`` annotation
+========  ==============================================================
+
+Suppression and baseline mechanics live in
+:mod:`repro.tooling.lint.model`; the rule implementations in
+:mod:`repro.tooling.lint.rules`; the exit-code contract (0 clean / 1
+findings / 2 broken run, no ``--fix``) in :mod:`repro.tooling.lint.cli`.
+The "Invariants" section of :mod:`repro.engine` maps each rule to the
+runtime test that enforces the same contract dynamically.
+"""
+
+from .cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from .model import Baseline, Finding, LintConfigError, Project, fingerprint_findings
+from .rules import ALL_RULES, RULES_BY_ID, LintRule, run_rules
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Baseline",
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "LintConfigError",
+    "LintRule",
+    "Project",
+    "fingerprint_findings",
+    "main",
+    "run_rules",
+]

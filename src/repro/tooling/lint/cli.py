@@ -1,0 +1,170 @@
+"""``python -m repro.tooling.lint`` — the invariant linter's command line.
+
+Exit-code contract (pinned by ``tests/test_tooling_lint.py``; there is
+deliberately no ``--fix`` — violations are fixed by hand or justified in the
+baseline, never rewritten by the tool):
+
+* ``0`` — no findings beyond the baseline, and no stale baseline entries;
+* ``1`` — at least one live finding, or a stale baseline entry (the baseline
+  may only shrink explicitly, never rot);
+* ``2`` — the lint run itself is broken: unreadable input, unparseable
+  source, malformed baseline, unknown rule ID in ``--select``.
+
+``--format=github`` emits workflow-command annotations so findings surface
+inline on PRs; ``--update-baseline`` rewrites the baseline to grandfather
+the current findings (each entry stamped with a justification TODO).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .model import Baseline, LintConfigError, Project, fingerprint_findings
+from .rules import ALL_RULES, RULES_BY_ID, run_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: Default lint surface, relative to ``--root``: the runtime tree plus every
+#: directory CI executes.  (``examples/`` is narrative code, out of scope.)
+DEFAULT_PATHS = ("src", "scripts", "benchmarks", "tests")
+
+DEFAULT_BASELINE = "lint-baseline.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tooling.lint",
+        description="AST-based invariant linter for the repro engine contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root for relative paths, rule scoping, and the site "
+        "registry (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of grandfathered findings (default: "
+        f"<root>/{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output format (github = workflow error annotations)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule IDs to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return EXIT_CLEAN
+
+    try:
+        rules = list(ALL_RULES)
+        if args.select:
+            wanted = [part.strip() for part in args.select.split(",") if part.strip()]
+            unknown = [rule_id for rule_id in wanted if rule_id not in RULES_BY_ID]
+            if unknown:
+                raise LintConfigError(
+                    f"unknown rule id(s) in --select: {', '.join(unknown)} "
+                    f"(known: {', '.join(sorted(RULES_BY_ID))})"
+                )
+            rules = [RULES_BY_ID[rule_id] for rule_id in wanted]
+
+        root = Path(args.root).resolve()
+        raw_paths = args.paths or [
+            name for name in DEFAULT_PATHS if (root / name).exists()
+        ]
+        paths: List[Path] = []
+        for raw in raw_paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            if not path.exists():
+                raise LintConfigError(f"no such path: {path}")
+            paths.append(path)
+
+        project = Project.load(root, paths)
+        findings = list(run_rules(rules, project))
+        files_by_relpath = {file.relpath: file for file in project.files}
+        findings = fingerprint_findings(findings, files_by_relpath)
+
+        baseline_path = (
+            Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+        )
+        if not baseline_path.is_absolute():
+            baseline_path = root / baseline_path
+
+        if args.update_baseline:
+            baseline_path.write_text(Baseline.render(findings), encoding="utf-8")
+            print(
+                f"baseline: wrote {len(findings)} entr"
+                f"{'y' if len(findings) == 1 else 'ies'} to {baseline_path}",
+                file=sys.stderr,
+            )
+            return EXIT_CLEAN
+
+        if baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+        elif args.baseline:  # explicitly named but absent: config error
+            raise LintConfigError(f"baseline file not found: {baseline_path}")
+        else:
+            baseline = Baseline()
+        live, stale = baseline.split(findings)
+    except LintConfigError as exc:
+        print(f"lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    for finding in live:
+        print(finding.github() if args.format == "github" else finding.text())
+    for rule_id, relpath, fp in stale:
+        message = (
+            f"stale baseline entry {rule_id} {relpath} {fp}: the finding is "
+            "gone — remove the entry"
+        )
+        if args.format == "github":
+            print(f"::error file={relpath},title={rule_id}-stale-baseline::{message}")
+        else:
+            print(f"{relpath}: {message}")
+
+    checked = len(project.files)
+    grandfathered = len(findings) - len(live)
+    summary = (
+        f"lint: {checked} files, {len(live)} finding(s)"
+        + (f", {grandfathered} baselined" if grandfathered else "")
+        + (f", {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+           if stale else "")
+    )
+    print(summary, file=sys.stderr)
+    return EXIT_FINDINGS if (live or stale) else EXIT_CLEAN

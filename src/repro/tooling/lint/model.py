@@ -1,0 +1,347 @@
+"""Data model of the invariant linter: files, findings, suppressions, baseline.
+
+The linter is a pure function from a set of parsed source files (a
+:class:`Project`) to a list of :class:`Finding`\\ s.  Everything stateful or
+repo-specific — which lines carry ``# repro: noqa[...]`` suppressions, which
+findings are grandfathered by the baseline file — lives here so the rules in
+:mod:`repro.tooling.lint.rules` stay side-effect-free AST visitors.
+
+Suppression grammar (checked by ``tests/test_tooling_lint.py``):
+
+* ``# repro: noqa[RPR001]`` on the finding's anchor line silences that rule
+  on that line (several IDs separate with commas);
+* ``# repro: noqa-file[RPR001]`` anywhere in a file silences the rule for
+  the whole file;
+* ``# repro: readonly`` on a ``return`` statement (or its enclosing ``def``
+  line) is *not* a suppression but an annotation: it marks a documented
+  shared-read-only cache return, which RPR006 treats as compliant.
+
+Baseline format — a plain-text file so every grandfathered entry can carry a
+justification comment (JSON cannot)::
+
+    RULE_ID<TAB>relative/path.py<TAB>fingerprint<TAB># why this is allowed
+
+Fingerprints hash the rule, path, the *text* of the offending line, and an
+occurrence index — never the line number — so unrelated edits above a
+grandfathered finding do not invalidate the baseline.  A baseline entry that
+no longer matches any finding is reported stale and fails the run: the
+baseline may only shrink silently, never rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+_NOQA_LINE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]")
+_NOQA_FILE = re.compile(r"#\s*repro:\s*noqa-file\[([A-Z0-9,\s]+)\]")
+_READONLY = re.compile(r"#\s*repro:\s*readonly\b")
+
+
+class LintConfigError(Exception):
+    """A problem with the linter's own inputs (unreadable file, bad baseline).
+
+    The CLI maps this to exit code 2 — distinct from exit 1 (findings) so CI
+    can tell "the code violates a contract" from "the lint run itself is
+    broken".
+    """
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    relpath: str
+    line: int
+    col: int
+    message: str
+    #: Stable identity for baseline matching (see :func:`fingerprint_findings`).
+    fingerprint: str = ""
+
+    def text(self) -> str:
+        return f"{self.relpath}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def github(self) -> str:
+        safe = self.message.replace("%", "%25").replace("\n", "%0A")
+        return (
+            f"::error file={self.relpath},line={self.line},col={self.col},"
+            f"title={self.rule_id}::{safe}"
+        )
+
+
+class LintFile:
+    """A parsed source file plus its per-line suppression tables."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:  # a file the repo cannot even import
+            raise LintConfigError(f"{relpath}: cannot parse: {exc}") from exc
+        self._line_noqa: Dict[int, Set[str]] = {}
+        self._file_noqa: Set[str] = set()
+        self._readonly_lines: Set[str] = set()
+        for number, line in enumerate(self.lines, start=1):
+            if "#" not in line:
+                continue
+            match = _NOQA_LINE.search(line)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                self._line_noqa.setdefault(number, set()).update(ids)
+            match = _NOQA_FILE.search(line)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                self._file_noqa.update(ids)
+            if _READONLY.search(line):
+                self._readonly_lines.add(number)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_noqa:
+            return True
+        return rule_id in self._line_noqa.get(line, set())
+
+    def is_readonly_annotated(self, *lines: int) -> bool:
+        """Whether any of ``lines`` carries a ``# repro: readonly`` marker."""
+        return any(line in self._readonly_lines for line in lines)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class Project:
+    """Every file under lint, plus lazily-built cross-file registries.
+
+    Rules that are *locally checkable* read one :class:`LintFile` at a time;
+    the two cross-file rules consume the registries built here — the
+    engine-aware call graph (RPR003) and the fault-site registry parsed from
+    ``src/repro/reliability/sites.py`` (RPR004).  The registry is read by AST,
+    not import, so the linter works on any checkout without a ``PYTHONPATH``
+    and cannot be fooled by runtime monkeypatching.
+    """
+
+    #: Repo-relative location of the fault-site registry module.
+    SITES_RELPATH = "src/repro/reliability/sites.py"
+
+    def __init__(self, root: Path, files: Sequence[LintFile]) -> None:
+        self.root = root
+        self.files: List[LintFile] = list(files)
+        self._engine_aware: Optional[Set[str]] = None
+        self._fault_sites: Optional[Set[str]] = None
+        self._src_registry: Optional[List[LintFile]] = None
+
+    def _src_files(self) -> List[LintFile]:
+        """Every file under ``<root>/src``, whether or not it is being linted.
+
+        The cross-file registries must see the whole tree even when the CLI
+        is pointed at a subset of paths (``lint tests``), or a registered
+        fault site / engine-aware callee defined outside the selected paths
+        would be reported as unknown.
+        """
+        if self._src_registry is None:
+            loaded = {file.path: file for file in self.files}
+            files: List[LintFile] = []
+            src_root = self.root / "src"
+            if src_root.is_dir():
+                for candidate in sorted(src_root.rglob("*.py")):
+                    if "__pycache__" in candidate.parts:
+                        continue
+                    candidate = candidate.resolve()
+                    if candidate in loaded:
+                        files.append(loaded[candidate])
+                        continue
+                    try:
+                        source = candidate.read_text(encoding="utf-8")
+                    except OSError as exc:
+                        raise LintConfigError(f"cannot read {candidate}: {exc}") from exc
+                    rel = candidate.relative_to(self.root).as_posix()
+                    files.append(LintFile(candidate, rel, source))
+            else:
+                files = [f for f in self.files if f.relpath.startswith("src/")]
+            self._src_registry = files
+        return self._src_registry
+
+    @classmethod
+    def load(cls, root: Path, paths: Iterable[Path]) -> "Project":
+        root = root.resolve()
+        seen: Set[Path] = set()
+        files: List[LintFile] = []
+        for path in paths:
+            path = path.resolve()
+            candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for candidate in candidates:
+                if candidate in seen or "__pycache__" in candidate.parts:
+                    continue
+                seen.add(candidate)
+                try:
+                    source = candidate.read_text(encoding="utf-8")
+                except OSError as exc:
+                    raise LintConfigError(f"cannot read {candidate}: {exc}") from exc
+                try:
+                    rel = candidate.relative_to(root).as_posix()
+                except ValueError:
+                    rel = candidate.as_posix()
+                files.append(LintFile(candidate, rel, source))
+        return cls(root, files)
+
+    # -- registries -------------------------------------------------------
+
+    def engine_aware_names(self) -> Set[str]:
+        """Simple names of functions taking a defaulted ``engine=`` kwarg.
+
+        Only *defaulted* parameters count: the tri-state contract is
+        ``engine=None`` (shared) / ``engine=False`` (reference) / instance,
+        so a required positional ``engine`` (e.g. a scorer's constructor
+        binding to one engine) is not part of the threading discipline.
+        """
+        if self._engine_aware is None:
+            names: Set[str] = set()
+            for file in self._src_files():
+                if not file.relpath.startswith("src/"):
+                    continue
+                for node in ast.walk(file.tree):
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if _has_defaulted_engine_kwarg(node):
+                            names.add(node.name)
+            self._engine_aware = names
+        return self._engine_aware
+
+    def registered_fault_sites(self) -> Set[str]:
+        """String keys registered in the fault-site registry module.
+
+        Collected from literal keys of ``REGISTERED_FAULT_SITES`` and literal
+        first arguments of ``register_fault_site(...)`` calls.  Missing
+        registry module => empty set (every literal site is then a finding,
+        which is the honest answer for a tree without a registry).
+        """
+        if self._fault_sites is None:
+            sites: Set[str] = set()
+            for file in self._src_files():
+                if file.relpath != self.SITES_RELPATH:
+                    continue
+                for node in ast.walk(file.tree):
+                    if isinstance(node, ast.Dict):
+                        for key in node.keys:
+                            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                                sites.add(key.value)
+                    elif isinstance(node, ast.Call):
+                        func = node.func
+                        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+                        if name == "register_fault_site" and node.args:
+                            first = node.args[0]
+                            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                                sites.add(first.value)
+            self._fault_sites = sites
+        return self._fault_sites
+
+
+def _has_defaulted_engine_kwarg(node) -> bool:
+    args = node.args
+    positional = args.posonlyargs + args.args
+    defaults = args.defaults
+    defaulted = positional[len(positional) - len(defaults):] if defaults else []
+    for arg in defaulted:
+        if arg.arg == "engine":
+            return True
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg == "engine" and default is not None:
+            return True
+    return False
+
+
+# -- fingerprints and baseline -------------------------------------------
+
+
+def fingerprint_findings(findings: Sequence[Finding], files: Dict[str, LintFile]) -> List[Finding]:
+    """Attach stable fingerprints: hash of (rule, path, line *text*, k).
+
+    ``k`` disambiguates identical lines (the k-th occurrence of the same
+    offending text in the same file keeps a distinct identity), so baselining
+    one of two textually identical findings does not hide both.
+    """
+    counters: Dict[Tuple[str, str, str], int] = {}
+    stamped: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.relpath, f.line, f.col, f.rule_id)):
+        file = files.get(finding.relpath)
+        text = file.line_text(finding.line).strip() if file is not None else ""
+        key = (finding.rule_id, finding.relpath, text)
+        k = counters.get(key, 0)
+        counters[key] = k + 1
+        token = f"{finding.rule_id}:{finding.relpath}:{text}:{k}".encode()
+        digest = hashlib.sha1(token).hexdigest()[:12]
+        stamped.append(
+            Finding(
+                rule_id=finding.rule_id,
+                relpath=finding.relpath,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                fingerprint=digest,
+            )
+        )
+    return stamped
+
+
+@dataclass
+class Baseline:
+    """The grandfathered findings: ``(rule_id, relpath, fingerprint)`` triples."""
+
+    entries: Set[Tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries: Set[Tuple[str, str, str]] = set()
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintConfigError(f"cannot read baseline {path}: {exc}") from exc
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [part.strip() for part in line.split("\t")]
+            if len(parts) < 3:
+                raise LintConfigError(
+                    f"baseline {path}:{number}: expected "
+                    f"'RULE\\tpath\\tfingerprint[\\t# comment]', got {raw!r}"
+                )
+            entries.add((parts[0], parts[1], parts[2]))
+        return cls(entries)
+
+    @staticmethod
+    def render(findings: Sequence[Finding]) -> str:
+        lines = [
+            "# repro lint baseline — grandfathered findings, one per line.",
+            "# Format: RULE_ID<TAB>relpath<TAB>fingerprint<TAB># justification",
+            "# Every entry must carry a justification; prefer fixing over baselining.",
+        ]
+        for finding in findings:
+            lines.append(
+                f"{finding.rule_id}\t{finding.relpath}\t{finding.fingerprint}"
+                f"\t# TODO: justify or fix ({finding.message})"
+            )
+        return "\n".join(lines) + "\n"
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Tuple[str, str, str]]]:
+        """Return (live findings not in baseline, stale baseline entries)."""
+        matched: Set[Tuple[str, str, str]] = set()
+        live: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule_id, finding.relpath, finding.fingerprint)
+            if key in self.entries:
+                matched.add(key)
+            else:
+                live.append(finding)
+        stale = sorted(self.entries - matched)
+        return live, stale

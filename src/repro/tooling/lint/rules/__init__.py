@@ -1,0 +1,34 @@
+"""The invariant rule set, ordered by rule ID.
+
+Each module holds one rule; adding a rule = adding a module and listing its
+class here.  IDs are stable and never reused (baselines and suppressions
+reference them).
+"""
+
+from .aliasing import CacheAliasingRule
+from .base import LintRule, run_rules
+from .determinism import DeterminismRule
+from .fault_sites import TEST_NAMESPACE, FaultSiteRegistryRule
+from .floats import FloatEqualityRule
+from .imports import GatedImportsRule
+from .threading import EngineThreadingRule
+
+#: Every shipped rule, instantiated once (rules are stateless).
+ALL_RULES = (
+    GatedImportsRule(),     # RPR001
+    DeterminismRule(),      # RPR002
+    EngineThreadingRule(),  # RPR003
+    FaultSiteRegistryRule(),  # RPR004
+    FloatEqualityRule(),    # RPR005
+    CacheAliasingRule(),    # RPR006
+)
+
+RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "TEST_NAMESPACE",
+    "LintRule",
+    "run_rules",
+]

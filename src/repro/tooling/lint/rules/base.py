@@ -1,0 +1,90 @@
+"""Rule framework: one class per invariant, scoped by repo-relative path.
+
+A rule declares *where it applies* (path prefixes and an allowlist of exact
+files it skips) and implements ``check(file, project)`` yielding raw
+:class:`~repro.tooling.lint.model.Finding`\\ s — without fingerprints and
+without suppression filtering, both of which the runner layers on uniformly.
+Rules never mutate anything and never import the code under lint: every
+contract they enforce is a *locally checkable* property of the AST (plus, for
+the two cross-file rules, a registry the :class:`Project` derives from the
+same ASTs).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from ..model import Finding, LintFile, Project
+
+
+class LintRule:
+    """Base class: subclasses set the class attributes and ``check``."""
+
+    rule_id: str = "RPR000"
+    summary: str = ""
+    #: Path prefixes (posix, repo-relative) the rule applies to; empty = all.
+    scopes: Tuple[str, ...] = ()
+    #: Exact relpaths exempt from the rule (e.g. the numpy backend module
+    #: itself for the gated-import rule).
+    allowlist: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath in self.allowlist:
+            return False
+        if not self.scopes:
+            return True
+        return any(relpath == scope or relpath.startswith(scope.rstrip("/") + "/")
+                   for scope in self.scopes)
+
+    def check(self, file: LintFile, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file: LintFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            relpath=file.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def call_name(node: ast.Call) -> str:
+    """The simple (rightmost) name of a call target, or ''."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Render a Name/Attribute chain like ``np.random.default_rng`` (best effort)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def run_rules(
+    rules: Sequence[LintRule], project: Project
+) -> Iterable[Finding]:
+    for file in project.files:
+        for rule in rules:
+            if not rule.applies_to(file.relpath):
+                continue
+            for finding in rule.check(file, project):
+                if not file.suppressed(finding.rule_id, finding.line):
+                    yield finding

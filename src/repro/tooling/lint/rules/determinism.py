@@ -1,0 +1,136 @@
+"""RPR002 — determinism of randomness sourcing.
+
+Every stochastic entry point threads a ``SeedLike`` through
+:func:`repro.rng.as_rng`; nothing may draw from interpreter-global RNG state
+(process-order dependent, invisible to ``GameSpec`` replays) or seed itself
+from the wall clock.  Three shapes are findings:
+
+* calls to module-level :mod:`random` functions — ``random.random()``,
+  ``random.seed()``, ``random.shuffle()``, … (constructing an *instance*,
+  ``random.Random(seed)``, is fine: that is what ``as_rng`` returns);
+* any call under ``np.random`` / ``numpy.random`` — the numpy global
+  generator *and* ``default_rng`` both bypass the shared ``SeedLike``
+  convention (the engine deliberately owns no numpy RNG state);
+* wall-clock seeding: ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` used as a seed — passed to a ``seed=`` keyword, to a
+  callee whose name mentions seed/rng/Random, or assigned to a ``*seed*``
+  variable.  Timing calls used for *measurement* are untouched; benchmarks
+  are out of scope entirely (their wall-clock use is the point).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..model import Finding, LintFile, Project
+from .base import LintRule, dotted_name
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.perf_counter",
+    "datetime.now",
+    "datetime.datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.utcnow",
+}
+
+#: ``random.<attr>`` attributes that are legitimate without instance state.
+_RANDOM_OK = {"Random", "SystemRandom"}
+
+
+def _is_clock_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and dotted_name(node.func) in _CLOCK_CALLS
+
+
+def _seedish_name(name: str) -> bool:
+    lowered = name.lower()
+    return "seed" in lowered or "rng" in lowered or "random" in lowered
+
+
+class DeterminismRule(LintRule):
+    rule_id = "RPR002"
+    summary = (
+        "global-state RNG call or wall-clock seed; route randomness through "
+        "repro.rng.as_rng"
+    )
+    scopes = ("src/", "scripts/")
+    allowlist = (
+        # The one module allowed to construct RNGs from raw seeds.
+        "src/repro/rng.py",
+    )
+
+    def check(self, file: LintFile, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(file, node)
+            elif isinstance(node, ast.Assign):
+                # A clock call fed to a seedish *callee* is already reported
+                # by the call check; only report the bare-assignment shape.
+                value = node.value
+                if isinstance(value, ast.Call) and _seedish_name(
+                    dotted_name(value.func).split(".")[-1]
+                ):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and _seedish_name(target.id)
+                        and any(_is_clock_call(sub) for sub in ast.walk(value))
+                    ):
+                        yield self.finding(
+                            file,
+                            node,
+                            f"wall-clock value assigned to {target.id!r}: seeds "
+                            "must be explicit SeedLike inputs, not time-derived",
+                        )
+
+    def _check_call(self, file: LintFile, node: ast.Call) -> Iterable[Finding]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # random.<fn>(...) on the module (not an instance named `random`;
+            # the repo convention names instances `rng`).
+            if isinstance(base, ast.Name) and base.id == "random":
+                if func.attr not in _RANDOM_OK:
+                    yield self.finding(
+                        file,
+                        node,
+                        f"global-state call random.{func.attr}(): draw from an "
+                        "explicit random.Random via repro.rng.as_rng instead",
+                    )
+            # np.random.<anything>(...) / numpy.random.<anything>(...)
+            chain = dotted_name(func)
+            root = chain.split(".", 1)[0]
+            if root in ("np", "numpy") and ".random." in chain + ".":
+                if chain.split(".")[1] == "random":
+                    yield self.finding(
+                        file,
+                        node,
+                        f"numpy RNG call {chain}(): the engine owns no numpy "
+                        "random state — thread a seeded random.Random "
+                        "(repro.rng.as_rng) and convert where needed",
+                    )
+        # Wall-clock expressions used as seeds.
+        callee = dotted_name(func) or ""
+        for keyword in node.keywords:
+            if keyword.arg and _seedish_name(keyword.arg) and any(
+                _is_clock_call(sub) for sub in ast.walk(keyword.value)
+            ):
+                yield self.finding(
+                    file,
+                    node,
+                    f"wall-clock seed passed as {keyword.arg}= to {callee or 'call'}: "
+                    "seeds must be explicit, reproducible inputs",
+                )
+        if callee and _seedish_name(callee.split(".")[-1]):
+            for arg in node.args:
+                if any(_is_clock_call(sub) for sub in ast.walk(arg)):
+                    yield self.finding(
+                        file,
+                        node,
+                        f"wall-clock argument to {callee}(): seeds must be "
+                        "explicit, reproducible inputs",
+                    )

@@ -1,0 +1,92 @@
+"""RPR004 — fault-site registry discipline.
+
+A ``fault_point("name")`` site that nothing registered, or a
+``FaultRule(site="name")`` naming a site that does not exist, silently never
+fires — a fault-injection test that asserts nothing.  This rule pins both
+directions against the single registry in
+``src/repro/reliability/sites.py``:
+
+* every string-literal site passed to ``fault_point(...)`` /
+  ``fault_fires(...)`` in the runtime tree must be a registered site;
+* every string-literal ``site=`` of a ``FaultRule(...)`` and every literal
+  element of ``FaultPlan.seeded(..., sites=[...])`` — in tests too — must
+  name a registered site.
+
+The ``test.`` namespace is reserved for abstract sites in unit tests of the
+plan machinery itself (matching the runtime warning's carve-out in
+:mod:`repro.reliability.sites`); dynamic (non-literal) site expressions are
+out of static reach and are exercised by the runtime warning instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from ..model import Finding, LintFile, Project
+from .base import LintRule, call_name
+
+#: Site-name prefix exempt from registration (unit-test toys).
+TEST_NAMESPACE = "test."
+
+
+def _literal_str(node: ast.AST):
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class FaultSiteRegistryRule(LintRule):
+    rule_id = "RPR004"
+    summary = (
+        "fault site literal not present in the reliability/sites.py registry"
+    )
+    scopes = ("src/", "scripts/", "benchmarks/", "tests/")
+    allowlist = (Project.SITES_RELPATH,)
+
+    def check(self, file: LintFile, project: Project) -> Iterable[Finding]:
+        registered = project.registered_fault_sites()
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for site, where in self._literal_sites(node):
+                if site.startswith(TEST_NAMESPACE) or site in registered:
+                    continue
+                yield self.finding(
+                    file,
+                    node,
+                    f"fault site {site!r} ({where}) is not registered in "
+                    f"{Project.SITES_RELPATH} — a typo'd site never fires; "
+                    "register it (or use the reserved 'test.' namespace for "
+                    "abstract unit-test sites)",
+                )
+
+    @staticmethod
+    def _literal_sites(node: ast.Call) -> Iterator[Tuple[str, str]]:
+        name = call_name(node)
+        if name in ("fault_point", "fault_fires"):
+            if node.args:
+                site = _literal_str(node.args[0])
+                if site is not None:
+                    yield site, f"{name}() call"
+        elif name == "FaultRule":
+            for keyword in node.keywords:
+                if keyword.arg == "site":
+                    site = _literal_str(keyword.value)
+                    if site is not None:
+                        yield site, "FaultRule(site=...)"
+            if node.args:
+                site = _literal_str(node.args[0])
+                if site is not None:
+                    yield site, "FaultRule positional site"
+        elif name == "seeded":
+            # FaultPlan.seeded(seed, ["site", ...]) — literal elements only.
+            candidates = list(node.args[1:2]) + [
+                keyword.value for keyword in node.keywords if keyword.arg == "sites"
+            ]
+            for candidate in candidates:
+                if isinstance(candidate, (ast.List, ast.Tuple, ast.Set)):
+                    for element in candidate.elts:
+                        site = _literal_str(element)
+                        if site is not None:
+                            yield site, "FaultPlan.seeded sites"

@@ -1,0 +1,86 @@
+"""RPR005 — float equality on cost-typed expressions.
+
+The engine's parity contract compares costs under the documented ``1e-9``
+chained-tolerance rule (see the sweep contract in :mod:`repro.engine`); a
+raw ``==``/``!=`` between computed costs is exactly the kind of
+almost-always-works bug that survives until a weighted game produces
+``0.30000000000000004``.  In ``core/`` and ``engine/``, any equality
+comparison where either operand *mentions a cost* (a name, attribute, or
+callee containing ``cost``) is a finding — with two exact-by-construction
+exclusions: comparison against ``math.inf`` (the unreachable sentinel is an
+exact IEEE value, not a computed cost) and against ``None`` (identity-style
+presence checks, themselves already linted by ruff E711).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..model import Finding, LintFile, Project
+from .base import LintRule, dotted_name
+
+
+#: Calls whose result is integer-typed regardless of their argument — a
+#: ``len(cost_values) == 1`` cardinality check is exact, not a float compare.
+_INT_VALUED_CALLS = {"len", "int", "round", "hash", "id", "index", "count", "ord"}
+
+
+def _mentions_cost(node: ast.AST) -> bool:
+    stack = [node]
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, ast.Call) and dotted_name(sub.func).split(".")[-1] in _INT_VALUED_CALLS:
+            continue  # opaque: integer-typed no matter what it mentions
+        if isinstance(sub, ast.Name) and "cost" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "cost" in sub.attr.lower():
+            return True
+        stack.extend(ast.iter_child_nodes(sub))
+    return False
+
+
+def _is_exact_sentinel(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    name = dotted_name(node)
+    return name in ("math.inf", "inf") or (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) == "float"
+        and bool(node.args)
+        and isinstance(node.args[0], ast.Constant)
+        and str(node.args[0].value).lower() in ("inf", "-inf", "infinity")
+    )
+
+
+class FloatEqualityRule(LintRule):
+    rule_id = "RPR005"
+    summary = (
+        "==/!= on a cost-typed expression; use the documented 1e-9 "
+        "tolerance rule"
+    )
+    scopes = ("src/repro/core/", "src/repro/engine/")
+
+    def check(self, file: LintFile, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_exact_sentinel(left) or _is_exact_sentinel(right):
+                    continue
+                if _mentions_cost(left) or _mentions_cost(right):
+                    yield self.finding(
+                        file,
+                        node,
+                        "equality comparison on a cost-typed expression — "
+                        "computed costs compare under the 1e-9 tolerance "
+                        "rule (abs(a - b) <= 1e-9), not ==/!= "
+                        "(math.inf sentinels are exempt)",
+                    )
+                    break

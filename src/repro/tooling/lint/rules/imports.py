@@ -1,0 +1,103 @@
+"""RPR001 — gated optional imports.
+
+The minimal CI leg runs without numpy/scipy, so ``repro.core`` and
+``repro.engine`` (and every script CI executes on that leg) must import with
+the optional stack absent.  The runtime convention is a module-level
+``try: import numpy ... except ImportError`` gate with a ``None`` sentinel;
+an *ungated* module-level import of an optional package only fails today if
+the minimal leg happens to import that module.  This rule makes the property
+static: any module-level ``import numpy``/``scipy`` (or from-import) outside
+a ``try`` block whose handlers catch ``ImportError``/``ModuleNotFoundError``
+(or ``Exception``) is a finding, except in the explicit allowlist — the numpy
+backend module itself, which is only ever imported from behind a gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..model import Finding, LintFile, Project
+from .base import LintRule
+
+#: Top-level package names whose import must be gated.
+OPTIONAL_PACKAGES: Tuple[str, ...] = ("numpy", "scipy")
+
+_GATE_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception"}
+
+
+def _optional_root(name: str) -> bool:
+    root = name.split(".", 1)[0]
+    return root in OPTIONAL_PACKAGES
+
+
+def _walk_module_level(stmt: ast.AST):
+    """Yield ``stmt`` and its descendants, skipping function bodies."""
+    stack = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _handler_catches_import_error(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:  # bare except: catches ImportError too
+        return True
+    kinds = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+    for entry in kinds:
+        name = entry.attr if isinstance(entry, ast.Attribute) else getattr(entry, "id", "")
+        if name in _GATE_EXCEPTIONS:
+            return True
+    return False
+
+
+class GatedImportsRule(LintRule):
+    rule_id = "RPR001"
+    summary = (
+        "module-level numpy/scipy import outside a try/except ImportError "
+        "gate (breaks the minimal CI leg)"
+    )
+    scopes = ("src/", "scripts/", "benchmarks/")
+    allowlist = (
+        # The array-kernel module is numpy through and through; it is only
+        # reachable through the gates in cost_engine/indexed, so a gate here
+        # would just re-state the callers'.
+        "src/repro/graphs/int_kernels_np.py",
+    )
+
+    def check(self, file: LintFile, project: Project) -> Iterable[Finding]:
+        gated_spans = []
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Try) and any(
+                _handler_catches_import_error(handler) for handler in node.handlers
+            ):
+                gated_spans.append((node.lineno, max(
+                    getattr(child, "end_lineno", child.lineno) for child in node.body
+                )))
+
+        def gated(lineno: int) -> bool:
+            return any(start <= lineno <= end for start, end in gated_spans)
+
+        # Module-level statements only: a function-level import executes
+        # lazily and the call sites own the degradation story.  (Class
+        # bodies run at import time, so they stay in scope.)
+        for stmt in file.tree.body:
+            for node in _walk_module_level(stmt):
+                names = []
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                    names = [node.module or ""]
+                for name in names:
+                    if _optional_root(name) and not gated(node.lineno):
+                        yield self.finding(
+                            file,
+                            node,
+                            f"module-level import of optional package {name!r} "
+                            "must sit in a try/except ImportError gate "
+                            "(the minimal CI leg has no numpy/scipy)",
+                        )
+                        break

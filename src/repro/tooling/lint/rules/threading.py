@@ -1,0 +1,109 @@
+"""RPR003 — tri-state ``engine=`` kwarg threading.
+
+Every routed entry point takes ``engine=None`` (shared engine) /
+``engine=False`` (dict/LP reference) / instance.  The contract composes only
+if the kwarg is *forwarded*: a function that accepts the tri-state kwarg and
+calls another engine-aware function must pass ``engine=`` explicitly (any
+value — pinning ``engine=False`` for a reference arm is deliberate and fine)
+or forward ``**kwargs``.  A dropped kwarg silently re-resolves the shared
+engine inside the callee — correct results, but a cache-discipline leak that
+PR-review has caught by hand three times; this rule catches it from the call
+graph.
+
+The engine-aware registry is every ``def`` under ``src/`` with a *defaulted*
+``engine`` parameter (see :meth:`Project.engine_aware_names`).  Matching is
+by simple callee name, with two documented resolution refinements: calls
+whose receiver itself names an engine (``engine.all_costs(...)``,
+``self._engine.…``) are already on the resolved object — methods of
+:class:`CostEngine` / :class:`FractionalEngine` take no ``engine=`` kwarg at
+all — and a ``self.x(...)`` call resolves against the *enclosing class's own*
+``def x`` when one exists (``BBCGame.node_cost`` is the engine-free
+reference; only ``FractionalBBCGame.node_cost`` threads the kwarg).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional
+
+from ..model import Finding, LintFile, Project
+from .base import LintRule, call_name, iter_functions
+from ..model import _has_defaulted_engine_kwarg
+
+
+def _receiver_is_engine(func: ast.AST) -> bool:
+    if not isinstance(func, ast.Attribute):
+        return False
+    base = func.value
+    name = ""
+    if isinstance(base, ast.Name):
+        name = base.id
+    elif isinstance(base, ast.Attribute):
+        name = base.attr
+    return "engine" in name.lower() or "evaluator" in name.lower()
+
+
+class EngineThreadingRule(LintRule):
+    rule_id = "RPR003"
+    summary = (
+        "engine-aware function drops the tri-state engine= kwarg when "
+        "calling another engine-aware function"
+    )
+    scopes = ("src/",)
+
+    def check(self, file: LintFile, project: Project) -> Iterable[Finding]:
+        aware = project.engine_aware_names()
+        if not aware:
+            return
+        # Map each method node to its enclosing class's own method table so
+        # self.x(...) resolves locally before falling back to the global
+        # name registry.
+        enclosing: Dict[int, Dict[str, bool]] = {}
+        for klass in ast.walk(file.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            table = {
+                item.name: _has_defaulted_engine_kwarg(item)
+                for item in klass.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for item in klass.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    enclosing[id(item)] = table
+        for function in iter_functions(file.tree):
+            params = {arg.arg for arg in function.args.args}
+            params.update(arg.arg for arg in function.args.kwonlyargs)
+            if "engine" not in params:
+                continue
+            class_table: Optional[Dict[str, bool]] = enclosing.get(id(function))
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = call_name(node)
+                if callee not in aware or callee == function.name:
+                    continue
+                if _receiver_is_engine(node.func):
+                    continue
+                if (
+                    class_table is not None
+                    and callee in class_table
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in ("self", "cls")
+                    and not class_table[callee]
+                ):
+                    continue  # the class's own method is the engine-free reference
+                has_engine_kwarg = any(
+                    keyword.arg == "engine" or keyword.arg is None  # **kwargs
+                    for keyword in node.keywords
+                )
+                if not has_engine_kwarg:
+                    yield self.finding(
+                        file,
+                        node,
+                        f"{function.name}() accepts engine= but calls "
+                        f"{callee}() without forwarding it — the callee will "
+                        "silently re-resolve the shared engine (pass "
+                        "engine=engine, or pin engine=False if the reference "
+                        "path is intended)",
+                    )

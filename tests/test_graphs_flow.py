@@ -54,7 +54,7 @@ def test_matches_networkx_on_random_instances():
     import random
 
     rng = random.Random(3)
-    for trial in range(5):
+    for _trial in range(5):
         n = 6
         edges = []
         for u in range(n):

@@ -13,6 +13,7 @@ retry-then-reference fallback, numpy-import gating).
 
 import json
 import warnings
+from typing import ClassVar, List
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -61,20 +62,20 @@ def ring_profile(game):
 class TestFaultHarness:
     def test_sites_are_inert_without_a_plan(self):
         assert current_plan() is None
-        fault_point("anything", key=(1, 2))  # must be a no-op
+        fault_point("test.anything", key=(1, 2))  # must be a no-op
 
     def test_error_rule_raises_typed_injected_fault(self):
-        plan = FaultPlan(rules=(FaultRule(site="s"),))
+        plan = FaultPlan(rules=(FaultRule(site="test.s"),))
         with active_faults(plan):
             with pytest.raises(InjectedFault) as excinfo:
-                fault_point("s", key=7)
-        assert excinfo.value.site == "s"
+                fault_point("test.s", key=7)
+        assert excinfo.value.site == "test.s"
         assert excinfo.value.key == 7
         assert isinstance(excinfo.value, Exception)
 
     def test_active_faults_restores_previous_plan(self):
-        outer = FaultPlan(rules=(FaultRule(site="outer"),))
-        inner = FaultPlan(rules=(FaultRule(site="inner"),))
+        outer = FaultPlan(rules=(FaultRule(site="test.outer"),))
+        inner = FaultPlan(rules=(FaultRule(site="test.inner"),))
         with active_faults(outer):
             with active_faults(inner):
                 assert current_plan() is inner
@@ -82,43 +83,43 @@ class TestFaultHarness:
         assert current_plan() is None
 
     def test_keys_restrict_firing(self):
-        plan = FaultPlan(rules=(FaultRule(site="s", keys=frozenset({3}), times=None),))
+        plan = FaultPlan(rules=(FaultRule(site="test.s", keys=frozenset({3}), times=None),))
         with active_faults(plan):
-            fault_point("s", key=2)
+            fault_point("test.s", key=2)
             with pytest.raises(InjectedFault):
-                fault_point("s", key=3)
+                fault_point("test.s", key=3)
 
     def test_after_and_times_open_an_occurrence_window(self):
-        plan = FaultPlan(rules=(FaultRule(site="s", after=2, times=1),))
+        plan = FaultPlan(rules=(FaultRule(site="test.s", after=2, times=1),))
         with active_faults(plan):
-            fault_point("s")
-            fault_point("s")
+            fault_point("test.s")
+            fault_point("test.s")
             with pytest.raises(InjectedFault):
-                fault_point("s")
-            fault_point("s")  # window exhausted
+                fault_point("test.s")
+            fault_point("test.s")  # window exhausted
 
     def test_crash_rules_default_to_worker_scope(self):
-        rule = FaultRule(site="s", kind="crash")
+        rule = FaultRule(site="test.s", kind="crash")
         assert rule.where == "worker"
         # ... so an armed crash rule cannot kill the test process itself.
         with active_faults(FaultPlan(rules=(rule,))):
-            fault_point("s")
+            fault_point("test.s")
 
     def test_seeded_coin_is_deterministic_and_seed_dependent(self):
-        plan_a = FaultPlan.seeded(1, ["s"], probability=0.5)
-        plan_b = FaultPlan.seeded(1, ["s"], probability=0.5)
-        fired_a = [plan_a.match("s", key=i) is not None for i in range(64)]
-        fired_b = [plan_b.match("s", key=i) is not None for i in range(64)]
+        plan_a = FaultPlan.seeded(1, ["test.s"], probability=0.5)
+        plan_b = FaultPlan.seeded(1, ["test.s"], probability=0.5)
+        fired_a = [plan_a.match("test.s", key=i) is not None for i in range(64)]
+        fired_b = [plan_b.match("test.s", key=i) is not None for i in range(64)]
         assert fired_a == fired_b
         assert any(fired_a) and not all(fired_a)
-        plan_c = FaultPlan.seeded(2, ["s"], probability=0.5)
-        assert fired_a != [plan_c.match("s", key=i) is not None for i in range(64)]
+        plan_c = FaultPlan.seeded(2, ["test.s"], probability=0.5)
+        assert fired_a != [plan_c.match("test.s", key=i) is not None for i in range(64)]
 
     def test_unknown_kind_and_scope_are_rejected(self):
         with pytest.raises(ValueError):
-            FaultRule(site="s", kind="meltdown")
+            FaultRule(site="test.s", kind="meltdown")
         with pytest.raises(ValueError):
-            FaultRule(site="s", where="moon")
+            FaultRule(site="test.s", where="moon")
 
 
 # --------------------------------------------------------------------------- #
@@ -185,8 +186,8 @@ class TestCheckpointJournal:
 # parallel_map: crash-safe fan-out
 # --------------------------------------------------------------------------- #
 class TestParallelMap:
-    ITEMS = list(range(6))
-    EXPECTED = [0, 1, 4, 9, 16, 25]
+    ITEMS: ClassVar[List[int]] = list(range(6))
+    EXPECTED: ClassVar[List[int]] = [0, 1, 4, 9, 16, 25]
 
     def test_serial_and_pool_agree(self):
         assert parallel_map(square, self.ITEMS, processes=1) == self.EXPECTED
@@ -630,3 +631,81 @@ class TestFractionalLPFallback:
         healthy = engine.best_response(profile, node)
         assert abs(healthy.best_cost - reference.best_cost) < 1e-9
         assert engine.stats["lp_solved"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# Fault-site registry (runtime counterpart of lint rule RPR004)
+# --------------------------------------------------------------------------- #
+class TestFaultSiteRegistry:
+    def _fresh_warn_state(self):
+        from repro.reliability import faults
+
+        faults._WARNED_UNKNOWN_SITES.clear()
+
+    def test_unregistered_site_warns_once_per_process(self):
+        from repro.reliability import UnknownFaultSiteWarning
+
+        self._fresh_warn_state()
+        with pytest.warns(UnknownFaultSiteWarning, match="engine.chunk-biuld"):
+            FaultPlan(
+                rules=(FaultRule(site="engine.chunk-biuld"),)  # repro: noqa[RPR004] — deliberate typo under test
+            )
+        # The same typo again (e.g. the plan pickled to a worker and back)
+        # stays quiet: one warning per site per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            FaultPlan(
+                rules=(FaultRule(site="engine.chunk-biuld"),)  # repro: noqa[RPR004] — deliberate typo under test
+            )
+
+    def test_registered_and_test_namespace_sites_stay_silent(self):
+        self._fresh_warn_state()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            FaultPlan(
+                rules=(
+                    FaultRule(site="parallel.task"),
+                    FaultRule(site="test.made-up"),
+                )
+            )
+
+    def test_every_compiled_site_is_registered(self):
+        from repro.reliability import REGISTERED_FAULT_SITES
+
+        for site in (
+            "engine.chunk-build",
+            "engine.forced-evict",
+            "engine.numpy-import",
+            "engine.row-poison",
+            "fractional.lp-solve",
+            "parallel.pool-start",
+            "parallel.task",
+            "search.profile",
+        ):
+            assert site in REGISTERED_FAULT_SITES
+            assert REGISTERED_FAULT_SITES[site]  # every entry documents itself
+
+    def test_register_fault_site_is_idempotent_but_rejects_conflicts(self):
+        from repro.reliability import (
+            REGISTERED_FAULT_SITES,
+            is_registered_fault_site,
+            register_fault_site,
+        )
+
+        register_fault_site("ext.demo", "an extension site")
+        try:
+            assert is_registered_fault_site("ext.demo")
+            register_fault_site("ext.demo", "an extension site")  # idempotent
+            with pytest.raises(ValueError, match="different"):
+                register_fault_site("ext.demo", "something else entirely")
+        finally:
+            REGISTERED_FAULT_SITES.pop("ext.demo", None)
+
+    def test_seeded_plan_with_unknown_site_warns(self):
+        from repro.reliability import UnknownFaultSiteWarning
+
+        self._fresh_warn_state()
+        with pytest.warns(UnknownFaultSiteWarning):
+            FaultPlan.seeded(  # repro: noqa[RPR004] — deliberate typo under test
+                3, ["parallel.tsak"], probability=0.5
+            )

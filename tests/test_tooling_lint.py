@@ -1,0 +1,651 @@
+"""Contract tests for the invariant linter (``python -m repro.tooling.lint``).
+
+Mirrors ``tests/test_bench_floors.py``'s gate-pinning style: every rule gets
+one minimal positive fixture (must fire) and one negative fixture (must stay
+silent), and the CLI's exit-code contract — 0 clean / 1 findings or stale
+baseline / 2 broken run, no ``--fix`` — is pinned against synthetic project
+trees so CI behaviour never drifts silently.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.tooling.lint import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Baseline,
+    Project,
+    fingerprint_findings,
+    main,
+)
+from repro.tooling.lint.rules import RULES_BY_ID, run_rules
+
+
+def _make_project(tmp_path, files):
+    """Write ``{relpath: source}`` under ``tmp_path`` and load a Project."""
+    paths = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths.append(path)
+    return Project.load(tmp_path, paths)
+
+
+def _run_rule(tmp_path, rule_id, files):
+    project = _make_project(tmp_path, files)
+    return list(run_rules([RULES_BY_ID[rule_id]], project))
+
+
+# --------------------------------------------------------------------------
+# RPR001 — gated imports
+# --------------------------------------------------------------------------
+
+
+class TestGatedImports:
+    def test_fires_on_ungated_module_level_numpy(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {"src/repro/core/bad.py": "import numpy as np\n"},
+        )
+        assert len(findings) == 1
+        assert findings[0].rule_id == "RPR001"
+        assert "numpy" in findings[0].message
+
+    def test_fires_on_from_import_scipy_in_scripts(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {"scripts/bad.py": "from scipy.optimize import linprog\n"},
+        )
+        assert len(findings) == 1
+
+    def test_silent_on_gated_import_and_function_level(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {
+                "src/repro/core/good.py": """
+                try:
+                    import numpy as np
+                except ImportError:
+                    np = None
+
+                def lazy():
+                    import scipy.sparse
+                    return scipy.sparse
+                """
+            },
+        )
+        assert findings == []
+
+    def test_allowlisted_backend_module_is_exempt(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {"src/repro/graphs/int_kernels_np.py": "import numpy as np\n"},
+        )
+        assert findings == []
+
+    def test_out_of_scope_tests_dir_is_exempt(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {"tests/test_x.py": "import numpy\n"},
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------
+# RPR002 — determinism
+# --------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_fires_on_global_random_call(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR002",
+            {
+                "src/repro/core/bad.py": """
+                import random
+
+                def sample():
+                    return random.randint(0, 10)
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert "random.randint" in findings[0].message
+
+    def test_fires_on_np_random_and_wall_clock_seed(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR002",
+            {
+                "src/repro/core/bad.py": """
+                import time
+                import numpy as np
+                from repro.rng import as_rng
+
+                def sample():
+                    a = np.random.default_rng()
+                    rng = as_rng(time.time())
+                    return a, rng
+                """,
+            },
+        )
+        messages = "\n".join(finding.message for finding in findings)
+        assert len(findings) == 2
+        assert "np.random.default_rng" in messages
+        assert "wall-clock" in messages
+
+    def test_fires_on_seed_assigned_from_clock(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR002",
+            {
+                "src/repro/core/bad.py": """
+                import time
+
+                def make_seed():
+                    seed_value = int(time.time_ns())
+                    return seed_value
+                """
+            },
+        )
+        assert len(findings) == 1
+
+    def test_silent_on_instance_rng_and_timing(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR002",
+            {
+                "src/repro/core/good.py": """
+                import random
+                import time
+                from repro.rng import as_rng
+
+                def sample(seed):
+                    rng = as_rng(seed)
+                    explicit = random.Random(seed)
+                    start = time.perf_counter()
+                    value = rng.random() + explicit.random()
+                    return value, time.perf_counter() - start
+                """
+            },
+        )
+        assert findings == []
+
+    def test_benchmarks_are_out_of_scope(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR002",
+            {"benchmarks/bench_x.py": "import random\nrandom.seed(0)\n"},
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------
+# RPR003 — engine kwarg threading
+# --------------------------------------------------------------------------
+
+
+class TestEngineThreading:
+    def test_fires_on_dropped_engine_kwarg(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR003",
+            {
+                "src/repro/core/mod.py": """
+                def callee(game, *, engine=None):
+                    return game
+
+                def caller(game, *, engine=None):
+                    return callee(game)
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert "caller" in findings[0].message and "callee" in findings[0].message
+
+    def test_silent_when_forwarded_or_pinned(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR003",
+            {
+                "src/repro/core/mod.py": """
+                def callee(game, *, engine=None):
+                    return game
+
+                def forwards(game, *, engine=None):
+                    return callee(game, engine=engine)
+
+                def pins_reference(game, *, engine=None):
+                    return callee(game, engine=False)
+
+                def star_forwards(game, *, engine=None, **kwargs):
+                    return callee(game, **kwargs)
+                """
+            },
+        )
+        assert findings == []
+
+    def test_silent_on_engine_receiver_and_local_reference_method(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR003",
+            {
+                "src/repro/core/mod.py": """
+                def all_costs(game, *, engine=None):
+                    return {}
+
+                class Game:
+                    def all_costs(self, profile):
+                        return {}
+
+                    def social_cost(self, profile, *, engine=None):
+                        resolved_engine = object()
+                        resolved_engine.all_costs(profile)
+                        return sum(self.all_costs(profile).values())
+                """
+            },
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------
+# RPR004 — fault-site registry
+# --------------------------------------------------------------------------
+
+_SITES_MODULE = """
+REGISTERED_FAULT_SITES = {
+    "engine.known": "a registered site",
+}
+"""
+
+
+class TestFaultSiteRegistry:
+    def test_fires_on_unregistered_literal_site(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR004",
+            {
+                "src/repro/reliability/sites.py": _SITES_MODULE,
+                "src/repro/core/mod.py": """
+                from repro.reliability import fault_point
+
+                def work():
+                    fault_point("engine.knwon", key=1)
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "engine.knwon" in findings[0].message
+
+    def test_fires_on_unregistered_fault_rule_in_tests(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR004",
+            {
+                "src/repro/reliability/sites.py": _SITES_MODULE,
+                "tests/test_mod.py": """
+                from repro.reliability import FaultPlan, FaultRule
+
+                def test_x():
+                    FaultPlan(rules=(FaultRule(site="engine.misspelt"),))
+                    FaultPlan.seeded(1, ["engine.also-misspelt"])
+                """,
+            },
+        )
+        sites = {finding.message.split("'")[1] for finding in findings}
+        assert sites == {"engine.misspelt", "engine.also-misspelt"}
+
+    def test_silent_on_registered_and_test_namespace(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR004",
+            {
+                "src/repro/reliability/sites.py": _SITES_MODULE,
+                "tests/test_mod.py": """
+                from repro.reliability import FaultRule, fault_point
+
+                def test_x():
+                    fault_point("engine.known")
+                    FaultRule(site="test.anything-goes")
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_registry_seen_when_linting_a_path_subset(self, tmp_path):
+        # Regression: the registry must come from the tree at --root, not
+        # from the set of files selected for linting — `lint tests` used to
+        # report every registered site as unknown because sites.py was not
+        # among the loaded files.
+        for relpath, source in {
+            "src/repro/reliability/sites.py": _SITES_MODULE,
+            "tests/test_mod.py": (
+                "from repro.reliability import FaultRule\n\n"
+                "def test_x():\n"
+                '    FaultRule(site="engine.known")\n'
+            ),
+        }.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        project = Project.load(tmp_path, [tmp_path / "tests"])
+        findings = list(run_rules([RULES_BY_ID["RPR004"]], project))
+        assert findings == []
+
+    def test_real_repo_registry_covers_all_compiled_sites(self):
+        # The live tree must satisfy its own rule: every literal site in
+        # src/ names a registered site.
+        from repro.reliability.sites import REGISTERED_FAULT_SITES
+
+        for site in (
+            "engine.chunk-build",
+            "engine.forced-evict",
+            "engine.numpy-import",
+            "engine.row-poison",
+            "fractional.lp-solve",
+            "parallel.pool-start",
+            "parallel.task",
+            "search.profile",
+        ):
+            assert site in REGISTERED_FAULT_SITES
+
+
+# --------------------------------------------------------------------------
+# RPR005 — float equality on costs
+# --------------------------------------------------------------------------
+
+
+class TestFloatEquality:
+    def test_fires_on_cost_equality(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR005",
+            {
+                "src/repro/core/mod.py": """
+                def stable(best_cost, current_cost):
+                    return best_cost == current_cost
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert "1e-9" in findings[0].message
+
+    def test_silent_on_tolerance_inf_sentinel_and_len(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR005",
+            {
+                "src/repro/core/mod.py": """
+                import math
+
+                def stable(best_cost, current_cost, costs):
+                    if best_cost == math.inf:
+                        return False
+                    if len(costs) == 1:
+                        return True
+                    return abs(best_cost - current_cost) <= 1e-9
+                """
+            },
+        )
+        assert findings == []
+
+    def test_out_of_scope_outside_core_engine(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR005",
+            {"src/repro/analysis/mod.py": "def f(cost):\n    return cost == 3.0\n"},
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------
+# RPR006 — cache aliasing
+# --------------------------------------------------------------------------
+
+
+class TestCacheAliasing:
+    def test_fires_on_aliased_cache_return(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR006",
+            {
+                "src/repro/engine/mod.py": """
+                class RowEngine:
+                    def row(self, u):
+                        entry = self._env_cache.get(u)
+                        row = entry[1]
+                        return row
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert "RowEngine.row" in findings[0].message
+
+    def test_silent_on_copy_readonly_annotation_and_private(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR006",
+            {
+                "src/repro/engine/mod.py": """
+                class RowEngine:
+                    def copied(self, u):
+                        return dict(self._env_cache[u])
+
+                    def annotated(self, u):
+                        return self._env_cache[u]  # repro: readonly
+
+                    def _private(self, u):
+                        return self._env_cache[u]
+
+                class NotAnEngineClass:
+                    def row(self, u):
+                        return self._env_cache[u]
+                """
+            },
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------
+# Suppression, fingerprints, baseline
+# --------------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_line_noqa_silences_one_rule_on_one_line(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {
+                "src/repro/core/mod.py": """
+                import numpy  # repro: noqa[RPR001]
+                import scipy
+                """
+            },
+        )
+        assert len(findings) == 1 and findings[0].line == 3
+
+    def test_file_noqa_silences_whole_file(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {
+                "src/repro/core/mod.py": """
+                # repro: noqa-file[RPR001]
+                import numpy
+                import scipy
+                """
+            },
+        )
+        assert findings == []
+
+    def test_noqa_for_other_rule_does_not_silence(self, tmp_path):
+        findings = _run_rule(
+            tmp_path,
+            "RPR001",
+            {"src/repro/core/mod.py": "import numpy  # repro: noqa[RPR005]\n"},
+        )
+        assert len(findings) == 1
+
+
+class TestFingerprintsAndBaseline:
+    def test_fingerprints_stable_under_line_drift(self, tmp_path):
+        source = "import numpy\n"
+        project_a = _make_project(tmp_path / "a", {"src/repro/core/mod.py": source})
+        project_b = _make_project(
+            tmp_path / "b", {"src/repro/core/mod.py": "# moved down a line\n" + source}
+        )
+        fps = []
+        for project in (project_a, project_b):
+            findings = list(run_rules([RULES_BY_ID["RPR001"]], project))
+            stamped = fingerprint_findings(
+                findings, {f.relpath: f for f in project.files}
+            )
+            fps.append(stamped[0].fingerprint)
+        assert fps[0] == fps[1]
+
+    def test_identical_lines_get_distinct_fingerprints(self, tmp_path):
+        project = _make_project(
+            tmp_path,
+            {"src/repro/core/mod.py": "import numpy\nimport numpy\n"},
+        )
+        findings = list(run_rules([RULES_BY_ID["RPR001"]], project))
+        stamped = fingerprint_findings(findings, {f.relpath: f for f in project.files})
+        assert len({finding.fingerprint for finding in stamped}) == 2
+
+    def test_baseline_roundtrip(self, tmp_path):
+        rendered = Baseline.render(
+            fingerprint_findings(
+                list(
+                    run_rules(
+                        [RULES_BY_ID["RPR001"]],
+                        _make_project(
+                            tmp_path, {"src/repro/core/mod.py": "import numpy\n"}
+                        ),
+                    )
+                ),
+                {},
+            )
+        )
+        path = tmp_path / "baseline.txt"
+        path.write_text(rendered)
+        loaded = Baseline.load(path)
+        assert len(loaded.entries) == 1
+        ((rule_id, relpath, _),) = loaded.entries
+        assert rule_id == "RPR001" and relpath == "src/repro/core/mod.py"
+
+
+# --------------------------------------------------------------------------
+# CLI exit-code contract (pinned, --fix-free)
+# --------------------------------------------------------------------------
+
+
+def _cli(tmp_path, *extra):
+    return main(["--root", str(tmp_path), *extra])
+
+
+class TestCliExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _make_project(tmp_path, {"src/repro/core/ok.py": "x = 1\n"})
+        assert _cli(tmp_path) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one_and_name_rule(self, tmp_path, capsys):
+        _make_project(tmp_path, {"src/repro/core/bad.py": "import numpy\n"})
+        assert _cli(tmp_path) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "src/repro/core/bad.py:1" in out
+
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        _make_project(tmp_path, {"src/repro/core/bad.py": "import numpy\n"})
+        assert _cli(tmp_path, "--format=github") == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=src/repro/core/bad.py,line=1,")
+        assert "title=RPR001" in out
+
+    def test_baseline_grandfathers_then_goes_stale(self, tmp_path, capsys):
+        _make_project(tmp_path, {"src/repro/core/bad.py": "import numpy\n"})
+        assert _cli(tmp_path, "--update-baseline") == EXIT_CLEAN
+        assert _cli(tmp_path) == EXIT_CLEAN  # grandfathered
+        err = capsys.readouterr().err
+        assert "1 baselined" in err
+        # Fix the violation: the baseline entry is now stale -> exit 1.
+        (tmp_path / "src/repro/core/bad.py").write_text("x = 1\n")
+        assert _cli(tmp_path) == EXIT_FINDINGS
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        _make_project(tmp_path, {"src/repro/core/ok.py": "x = 1\n"})
+        assert _cli(tmp_path, "--select", "RPR999") == EXIT_ERROR
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_exits_two(self, tmp_path, capsys):
+        _make_project(tmp_path, {"src/repro/core/ok.py": "x = 1\n"})
+        assert _cli(tmp_path, "--baseline", "nope.txt") == EXIT_ERROR
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        _make_project(tmp_path, {"src/repro/core/ok.py": "x = 1\n"})
+        (tmp_path / "lint-baseline.txt").write_text("not a valid entry line\n")
+        assert _cli(tmp_path) == EXIT_ERROR
+        assert "baseline" in capsys.readouterr().err
+
+    def test_unparseable_source_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "src/repro/core/bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("def broken(:\n")
+        assert _cli(tmp_path) == EXIT_ERROR
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert _cli(tmp_path, "nonexistent-dir") == EXIT_ERROR
+
+    def test_select_restricts_rules(self, tmp_path):
+        _make_project(
+            tmp_path,
+            {
+                "src/repro/core/bad.py": (
+                    "import numpy\n\ndef f(a_cost, b_cost):\n"
+                    "    return a_cost == b_cost\n"
+                )
+            },
+        )
+        assert _cli(tmp_path, "--select", "RPR005") == EXIT_FINDINGS
+
+    def test_list_rules_names_all_six(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+            assert rule_id in out
+
+    def test_there_is_no_fix_flag(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--fix"])
+        assert excinfo.value.code == 2  # argparse usage error
+
+
+class TestRepoIsClean:
+    def test_live_repo_lints_clean(self):
+        # The acceptance gate itself: the shipped tree has zero live findings
+        # against the shipped baseline.
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        assert main(["--root", str(repo_root)]) == EXIT_CLEAN
+
+    def test_live_repo_scoped_run_lints_clean(self):
+        # A path-scoped run must agree: the cross-file registries (fault
+        # sites, engine-aware call graph) come from --root/src even when
+        # only tests/ is selected for linting.
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        assert main(["--root", str(repo_root), "tests"]) == EXIT_CLEAN
