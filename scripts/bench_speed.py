@@ -10,9 +10,14 @@ future PRs, plus a rendered table in ``BENCH_speed.txt``.
 
 ``--sweep`` runs the sweep-engine scenarios instead — exhaustive equilibrium
 search (n = 7, k = 2 uniform, Gray order + incremental checks vs a
-from-scratch check per profile), the Figure 4 completion scan, and one
-process-parallel study grid — and merges them into the same JSON under
-``sweep_results``, preserving whatever the other modes last wrote.
+from-scratch check per profile), the Figure 4 completion scan, one
+process-parallel study grid, and the sharded exhaustive search (the same
+restricted grid split into contiguous Gray-rank subranges over
+``--processes`` shared-memory workers, certified bit-identical to the serial
+summary) — and merges them into the same JSON under ``sweep_results``,
+preserving whatever the other modes last wrote.  The sharded row's scaling
+floor only gates non-smoke recordings taken with at least two workers on at
+least two CPUs; single-core boxes record the fork overhead unfloored.
 
 ``--fractional`` runs the fractional-game scenarios — iterated best-response
 dynamics from the empty profile and the epsilon-equilibrium report of the
@@ -104,6 +109,10 @@ WALK_MAX_ROUNDS = 8
 #: The exhaustive-search sweep scenario must stay at least this much faster
 #: than the from-scratch reference; the script exits non-zero below it.
 SWEEP_SPEEDUP_FLOOR = 5.0
+#: The sharded exhaustive search must at least break even against the serial
+#: sweep — but only on recordings that actually had parallelism available
+#: (non-smoke, >= 2 workers, >= 2 CPUs); anything else just records.
+SHARDED_SCALING_FLOOR = 1.0
 #: The fractional dynamics scenario must stay at least this much faster than
 #: the FlowNetwork / dense-LP reference at the largest size benchmarked.
 FRACTIONAL_SPEEDUP_FLOOR = 3.0
@@ -287,6 +296,51 @@ def bench_study_grid(repeats, smoke):
         "serial_seconds": serial_time,
         "parallel_seconds": parallel_time,
         "scaling": serial_time / parallel_time,
+        "crashed": reliability["crashed"],
+        "retried": reliability["retried"],
+        "pool_restarts": reliability["pool_restarts"],
+        "serial_fallback_cells": reliability["serial_fallback_cells"],
+    }
+
+
+def bench_sharded_search(repeats, smoke, processes):
+    """Sharded exhaustive search: serial sweep vs contiguous subrange shards.
+
+    The same restricted (7, 2)-uniform grid as the sweep scenario, run once
+    serially and once sharded over ``processes`` workers attached to the
+    parent's shared-memory payload.  The summaries must match bit for bit —
+    that is the sharding contract, not a tolerance — and the row records the
+    wall-clock scaling plus the fault-runtime counters so a CI run that
+    limped home on pool restarts is visible in the trajectory.
+    """
+    game = UniformBBCGame(7, K)
+    sets = candidate_strategy_sets(game, None, None)
+    free = 2 if smoke else 3
+    candidates = {node: sets[node][:1] for node in range(free, 7)}
+    kwargs = dict(
+        candidate_strategies=candidates, stop_at_first=False, checkpoint_every=64
+    )
+
+    serial_time, serial_summary = time_call(
+        lambda: exhaustive_equilibrium_search(game, **kwargs), repeats
+    )
+    sharded_time, sharded_summary = time_call(
+        lambda: exhaustive_equilibrium_search(game, processes=processes, **kwargs),
+        repeats,
+    )
+    assert sharded_summary == serial_summary
+    reliability = last_run_stats()
+    return {
+        "task": "sharded_search",
+        "n": 7,
+        "k": K,
+        "free_nodes": free,
+        "profiles": serial_summary.profiles_examined,
+        "cpus": os.cpu_count(),
+        "processes": processes,
+        "serial_seconds": serial_time,
+        "parallel_seconds": sharded_time,
+        "scaling": serial_time / sharded_time,
         "crashed": reliability["crashed"],
         "retried": reliability["retried"],
         "pool_restarts": reliability["pool_restarts"],
@@ -790,12 +844,23 @@ def _core_floor_violations(rows):
 
 
 def _sweep_floor_violations(rows):
-    return [
+    violations = [
         f"sweep: exhaustive_search speedup {row['speedup']:.2f}x is below "
         f"{SWEEP_SPEEDUP_FLOOR:g}x"
         for row in rows
         if row["task"] == "exhaustive_search" and row["speedup"] < SWEEP_SPEEDUP_FLOOR
     ]
+    violations.extend(
+        f"sweep: sharded_search scaling {row['scaling']:.2f}x with "
+        f"{row['processes']} workers on {row['cpus']} CPUs is below "
+        f"{SHARDED_SCALING_FLOOR:g}x"
+        for row in rows
+        if row["task"] == "sharded_search"
+        and row.get("processes", 1) >= 2
+        and (row.get("cpus") or 1) >= 2
+        and row["scaling"] < SHARDED_SCALING_FLOOR
+    )
+    return violations
 
 
 def _largest_row(rows, task):
@@ -961,6 +1026,16 @@ def run_sweep_scenarios(args, repeats):
         f"serial_fallback_cells={grid_row['serial_fallback_cells']}"
     )
     rows.append(grid_row)
+    processes = args.processes or max(default_processes(), 2)
+    print(f"benchmarking sharded exhaustive search ({processes} workers) ...")
+    sharded_row = bench_sharded_search(repeats, args.smoke, processes)
+    print(
+        "sharded search reliability: "
+        f"crashed={sharded_row['crashed']} retried={sharded_row['retried']} "
+        f"pool_restarts={sharded_row['pool_restarts']} "
+        f"serial_fallback_cells={sharded_row['serial_fallback_cells']}"
+    )
+    rows.append(sharded_row)
     return rows
 
 
@@ -1033,6 +1108,13 @@ def main():
         "mode in BENCH_speed.json is below its enforced speedup floor",
     )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker count for the --sweep sharded-search scenario (default: "
+        "the affinity-aware default, at least 2 so the sharded path is real)",
+    )
     parser.add_argument(
         "--max-reference-n",
         type=int,

@@ -3,6 +3,7 @@
 from .studies import (
     connectivity_convergence_study,
     diameter_study,
+    equilibrium_census_study,
     fairness_study,
     hypercube_study,
     max_poa_study,
@@ -14,6 +15,7 @@ from .studies import (
 from .tables import format_table, format_value, merge_rows
 
 __all__ = [
+    "equilibrium_census_study",
     "fairness_study",
     "poa_spectrum_study",
     "diameter_study",

@@ -300,3 +300,66 @@ def _max_pos_cell(args) -> Row:
 def max_pos_study(parameter_grid: Sequence[tuple], *, processes: int = 1, journal=None) -> List[Row]:
     """Theorem 9: tail-free willow forests are near-optimal under the max objective."""
     return parallel_map(_max_pos_cell, list(parameter_grid), processes=processes, journal=journal)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 2 context: exhaustive equilibrium census of small uniform games
+# --------------------------------------------------------------------------- #
+def equilibrium_census_study(
+    parameter_grid: Sequence[tuple],
+    *,
+    objective: Objective = Objective.SUM,
+    processes: int = 1,
+    journal_dir=None,
+) -> List[Row]:
+    """Count every pure equilibrium of small ``(n, k)``-uniform games.
+
+    Theorem 2 makes pure-NE *existence* NP-hard in general, so the census
+    brute-forces the question where brute force is honest: the full Gray
+    sweep over all budget-maximal profiles, counting equilibria rather than
+    stopping at the first.
+
+    Unlike the grid studies above, the dominant axis here is the *profile
+    space* of each cell, not the cell count — so ``processes`` shards each
+    cell's Gray sweep through
+    :func:`~repro.core.exhaustive_equilibrium_search`'s ``processes=``
+    (contiguous rank subranges over one shared payload) instead of fanning
+    the cells out, and the cells themselves run in order in the parent.
+    Rows are bit-identical at any worker count.  ``journal_dir`` (a
+    directory path) checkpoints each cell's sweep into its own journal file
+    ``census-n{n}-k{k}.json``, so a killed census resumes per cell *and*
+    per checkpoint block within the interrupted cell.
+    """
+    import os
+
+    from ..core import exhaustive_equilibrium_search
+
+    rows: List[Row] = []
+    for n, k in parameter_grid:
+        game = UniformBBCGame(n, k, objective=objective)
+        journal = None
+        if journal_dir is not None:
+            os.makedirs(str(journal_dir), exist_ok=True)
+            journal = os.path.join(str(journal_dir), f"census-n{n}-k{k}.json")
+        summary = exhaustive_equilibrium_search(
+            game,
+            stop_at_first=False,
+            processes=processes,
+            journal=journal,
+        )
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "profiles": summary.profiles_examined,
+                "equilibria": summary.equilibria_found,
+                "equilibrium_fraction": (
+                    summary.equilibria_found / summary.profiles_examined
+                    if summary.profiles_examined
+                    else 0.0
+                ),
+                "has_equilibrium": summary.has_equilibrium,
+                "exhausted": summary.exhausted,
+            }
+        )
+    return rows

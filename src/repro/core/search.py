@@ -149,6 +149,7 @@ def exhaustive_equilibrium_search(
     engine=None,
     journal=None,
     checkpoint_every: int = 256,
+    processes: Optional[int] = 1,
 ) -> SearchSummary:
     """Search for pure Nash equilibria by enumerating profiles.
 
@@ -175,6 +176,18 @@ def exhaustive_equilibrium_search(
     (radices, ``checkpoint_every``, ``stop_at_first``); reusing it for a
     different search raises
     :class:`~repro.reliability.CheckpointError`.
+
+    ``processes`` shards the profile space: the not-yet-journalled checkpoint
+    blocks are split into contiguous Gray-rank subranges, each evaluated by a
+    pool worker over a shared read-only payload (the game spec, the candidate
+    sets, and the parent engine's exported static tables — see
+    :class:`~repro.experiments.parallel.SharedPayload`), and the per-block
+    records are merged in global block order.  Records, the journal, and the
+    summary are **bit-identical** to a serial run at any worker count;
+    ``None`` means one worker per available CPU
+    (:func:`~repro.experiments.parallel.resolve_processes`).  An explicit
+    engine *instance* is process-local state and cannot shard — pass
+    ``engine=None`` (each worker builds its own) or ``engine=False``.
     """
     from ..engine.sweep import gray_code_profiles
     from ..reliability.faults import fault_point
@@ -194,6 +207,30 @@ def exhaustive_equilibrium_search(
                 "stop_at_first": bool(stop_at_first),
                 "radices": [len(sets[node]) for node in game.nodes],
             }
+        )
+
+    count = 1
+    if processes is None or processes != 1:
+        from ..experiments.parallel import resolve_processes
+
+        count = resolve_processes(processes)
+    if count > 1:
+        if engine is not None and engine is not False:
+            raise ValueError(
+                "an explicit engine instance is process-local; pass "
+                "engine=None or engine=False to shard with processes > 1"
+            )
+        return _sharded_search(
+            game,
+            sets,
+            stop_at_first=stop_at_first,
+            profile_limit=profile_limit,
+            deviation_limit=deviation_limit,
+            tolerance=tolerance,
+            use_engine=engine is None,
+            journal=journal,
+            checkpoint_every=checkpoint_every,
+            count=count,
         )
 
     check = _nash_checker(game, tolerance, deviation_limit, engine)
@@ -248,6 +285,197 @@ def exhaustive_equilibrium_search(
                 exhausted = False
                 done = True
         block_index += 1
+    if journal is not None:
+        journal.flush()
+    return SearchSummary(
+        profiles_examined=examined,
+        equilibria_found=found,
+        first_equilibrium=first,
+        exhausted=exhausted,
+    )
+
+
+#: Per-process context cache of the last payload a shard cell attached: the
+#: rebuilt game, candidate sets, parameters, and the warm Nash checker (its
+#: evaluator memo carries across the worker's shards).  One entry only — a
+#: different payload evicts it, so stale games cannot pin memory across
+#: unrelated searches.
+_SHARD_CACHE: Dict[tuple, tuple] = {}
+
+
+def _search_shard_cell(args) -> list:
+    """Pool-worker cell: sweep blocks ``[block_start, block_stop)`` of a search.
+
+    ``args`` is ``(payload_ref, block_start, block_stop)``; the payload (see
+    :func:`_sharded_search`) carries everything the sweep reads.  Returns
+    ``[[block_index, record], ...]`` with exactly the records the serial loop
+    produces for those blocks — same profiles in the same Gray order, same
+    ``search.profile`` fault keys (global ranks), same stop-at-first
+    truncation — so the parent can merge shards in global block order into a
+    serial-identical summary.  Also the serial-rung fallback when the pool
+    cannot run: everything here is process-local or read-only.
+    """
+    ref, block_start, block_stop = args
+    from ..engine.sweep import gray_code_profiles
+    from ..experiments.parallel import attach_payload
+    from ..reliability.faults import fault_point
+
+    ctx = _SHARD_CACHE.get(ref)
+    if ctx is None:
+        from ..engine.snapshot import restore_tables
+
+        obj, arrays = attach_payload(ref)
+        game = obj["spec"].build()
+        sets = {node: list(strategies) for node, strategies in obj["sets"]}
+        params = obj["params"]
+        if params["use_engine"]:
+            from ..engine.cost_engine import CostEngine
+
+            engine = CostEngine(game, tables=restore_tables(obj["tables"], arrays))
+        else:
+            engine = False
+        check = _nash_checker(
+            game, params["tolerance"], params["deviation_limit"], engine
+        )
+        ctx = (game, sets, params, check)
+        _SHARD_CACHE.clear()
+        _SHARD_CACHE[ref] = ctx
+    game, sets, params, check = ctx
+    checkpoint_every = params["checkpoint_every"]
+    stop = min(block_stop * checkpoint_every, params["size"])
+    profiles = gray_code_profiles(
+        game,
+        candidate_strategies=sets,
+        limit=params["profile_limit"],
+        start=block_start * checkpoint_every,
+        stop=stop,
+    )
+    out = []
+    for block_index in range(block_start, block_stop):
+        base = block_index * checkpoint_every
+        record = {"examined": 0, "found": 0, "first": None, "stopped": False}
+        for offset in range(min(base + checkpoint_every, stop) - base):
+            profile = next(profiles)
+            fault_point("search.profile", key=base + offset)
+            record["examined"] += 1
+            if check(profile):
+                record["found"] += 1
+                if record["first"] is None:
+                    record["first"] = _serialize_profile(profile)
+                if params["stop_at_first"]:
+                    record["stopped"] = True
+                    break
+        out.append([block_index, record])
+        if record["stopped"]:
+            break
+    return out
+
+
+def _sharded_search(
+    game: BBCGame,
+    sets: Dict[Node, List[Strategy]],
+    *,
+    stop_at_first: bool,
+    profile_limit: float,
+    deviation_limit: float,
+    tolerance: float,
+    use_engine: bool,
+    journal,
+    checkpoint_every: int,
+    count: int,
+) -> SearchSummary:
+    """Parent side of a sharded exhaustive search (``journal`` pre-bound).
+
+    Splits the not-yet-journalled checkpoint blocks into at most ``count``-ish
+    contiguous shards, fans them out over a :func:`parallel_map` pool reading
+    one :class:`~repro.experiments.parallel.SharedPayload`, and merges the
+    per-block records in global block order — truncating at the first
+    ``stopped`` block, exactly like the serial loop, before journalling the
+    surviving records.  Fresh blocks land in the journal only here, in the
+    parent, so a worker crash never half-writes a checkpoint.
+    """
+    from ..engine.snapshot import export_tables
+    from ..engine.sweep import _resolve_gray_space
+    from ..experiments.parallel import GameSpec, SharedPayload, parallel_map
+
+    _, _, _, _, size = _resolve_gray_space(game, sets, None, None, profile_limit)
+    total_blocks = -(-size // checkpoint_every)
+    journaled: Dict[int, dict] = {}
+    cutoff = total_blocks
+    if journal is not None:
+        for i in range(total_blocks):
+            record = journal.get(f"block:{i}")
+            if record is None:
+                continue
+            journaled[i] = record
+            if record["stopped"]:
+                cutoff = i + 1
+                break
+    needed = [i for i in range(cutoff) if i not in journaled]
+    records: Dict[int, dict] = dict(journaled)
+    if needed:
+        # Shards: contiguous runs of needed blocks, chopped so ~count shards
+        # cover them.  Boundaries depend on `count`; the merged summary does
+        # not — records are per-block either way.
+        chunk = max(1, -(-len(needed) // count))
+        shards: List[tuple] = []
+        run_start = prev = needed[0]
+        for block in needed[1:] + [None]:
+            if block is not None and block == prev + 1 and block - run_start < chunk:
+                prev = block
+                continue
+            shards.append((run_start, prev + 1))
+            if block is not None:
+                run_start = prev = block
+        tables, arrays = None, {}
+        if use_engine:
+            from ..engine import get_engine
+
+            tables, arrays = export_tables(get_engine(game).indexed)
+        payload = SharedPayload.create(
+            {
+                "spec": GameSpec.from_game(game),
+                "sets": [(node, list(sets[node])) for node in game.nodes],
+                "tables": tables,
+                "params": {
+                    "checkpoint_every": checkpoint_every,
+                    "stop_at_first": bool(stop_at_first),
+                    "profile_limit": profile_limit,
+                    "deviation_limit": deviation_limit,
+                    "tolerance": tolerance,
+                    "use_engine": use_engine,
+                    "size": size,
+                },
+            },
+            arrays or None,
+        )
+        try:
+            cells = [(payload.ref, lo, hi) for lo, hi in shards]
+            for shard in parallel_map(
+                _search_shard_cell, cells, processes=count, on_error="raise"
+            ):
+                for block_index, record in shard:
+                    records[block_index] = record
+        finally:
+            payload.close()
+
+    examined = 0
+    found = 0
+    first: Optional[StrategyProfile] = None
+    exhausted = True
+    for i in range(total_blocks):
+        record = records.get(i)
+        if record is None:  # beyond the block where a shard stopped early
+            break
+        examined += record["examined"]
+        found += record["found"]
+        if first is None and record["first"] is not None:
+            first = _deserialize_profile(record["first"])
+        if journal is not None and i not in journaled:
+            journal.record(f"block:{i}", record)
+        if record["stopped"]:
+            exhausted = False
+            break
     if journal is not None:
         journal.flush()
     return SearchSummary(

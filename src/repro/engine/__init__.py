@@ -152,6 +152,38 @@ and never re-probes a node whose environment rows are still valid.
 sweep layers know exactly which memo entries survived.  Verdicts stay
 bit-identical to the reference path; ``tests/test_sweep.py`` pins it.
 
+**Snapshot ownership and lifetime** (new in PR 9).  Everything a traversal
+or sweep *reads* — the CSR of the bought graph, aligned edge lengths, the
+synced strategies, the static tables and licence flags — lives in a frozen
+:class:`~repro.engine.snapshot.EngineSnapshot`, separable from the engine's
+mutable cache/repair machinery.  The ownership rules:
+
+* **One writer.**  ``CostEngine._rebuild_csr`` (reached only through
+  ``sync``) is the sole producer: it builds a *fresh* snapshot for each
+  profile version and publishes it atomically; a published snapshot is never
+  mutated.  Readers obtain it via :meth:`CostEngine.snapshot` and may hold
+  it across syncs — its lists and array views stay exactly as published.
+* **Version rules.**  Each snapshot carries the engine ``version`` it was
+  built at.  A reader caching state derived from a snapshot compares
+  ``snapshot().version`` instead of re-diffing strategies; equal versions
+  guarantee bit-identical reads.
+* **Cross-process lifetime.**  Sharded sweeps export the *static* half (the
+  game spec, candidate sets, and :func:`~repro.engine.snapshot
+  .export_tables` output) into one ``multiprocessing.shared_memory`` segment
+  via :class:`~repro.experiments.parallel.SharedPayload`.  The **parent
+  creates** the segment and is the only process that **unlinks** it — in a
+  ``finally`` around the pool run, backstopped by a module atexit hook.
+  **Workers attach** read-only (:func:`~repro.experiments.parallel
+  .attach_payload`, zero-copy numpy views on the full leg; the minimal leg
+  ships pickled lists) and never unlink; their attachments die with the
+  worker process, so crashes and pool restarts cannot leak segments.  The
+  shared payload is immutable by construction — workers rebuild their own
+  mutable engines (adopting the exported tables through
+  ``CostEngine(game, tables=...)``) and write nothing back.  Allocation
+  failure degrades to shipping the same packed bytes inline with each task;
+  the ``parallel.shm-create`` / ``parallel.shm-attach`` fault sites pin both
+  halves under injection.
+
 **The parallel-map spec.**  For process-level fan-out,
 :mod:`repro.experiments.parallel` ships a compact picklable
 :class:`~repro.experiments.parallel.GameSpec` — ``("uniform", (n, k,
@@ -270,7 +302,8 @@ from .fractional_engine import (
     resolve_fractional_engine,
 )
 from .indexed import IndexedGame
-from .sweep import SweepEvaluator, gray_code_profiles
+from .snapshot import EngineSnapshot, SnapshotTables, export_tables, restore_tables
+from .sweep import SweepEvaluator, gray_code_profiles, profile_at
 
 #: One shared engine per live game object; weak keys so games can be GC'd.
 _ENGINES: "WeakKeyDictionary" = WeakKeyDictionary()
@@ -309,15 +342,20 @@ def resolve_engine(game, engine) -> "CostEngine | None":
 
 __all__ = [
     "CostEngine",
+    "EngineSnapshot",
     "NUMPY_BACKEND_MIN_N",
+    "SnapshotTables",
     "StrategyScorer",
     "FractionalEngine",
     "IndexedGame",
     "SweepEvaluator",
+    "export_tables",
     "gray_code_profiles",
     "get_engine",
     "get_fractional_engine",
+    "profile_at",
     "resolve_backend",
     "resolve_engine",
     "resolve_fractional_engine",
+    "restore_tables",
 ]

@@ -58,6 +58,7 @@ from ..graphs.int_kernels import (
 )
 from .indexed import IndexedGame
 from .row_store import ChunkLedger
+from .snapshot import EngineSnapshot, csr_arrays_of, csr_of
 
 try:  # Optional vectorised backend; every path below degrades gracefully.
     import numpy as _np
@@ -254,25 +255,26 @@ class CostEngine:
         memory_budget_bytes: Optional[int] = None,
         giant_batch: bool = True,
         verify_every: Optional[int] = None,
+        tables=None,
     ) -> None:
         # Only a weak back-reference to `game`: a strong one would pin the
         # WeakKeyDictionary entry in the per-game engine registry forever.
         self._game_ref = weakref.ref(game)
-        self.indexed = IndexedGame(game)
+        # ``tables`` forwards exported static tables (see
+        # repro.engine.snapshot.SnapshotTables) so pool workers skip the
+        # O(n^2) probing pass; None constructs normally.
+        self.indexed = IndexedGame(game, tables=tables)
         self.incremental = bool(incremental)
         self.vectorized = bool(vectorized)
         self.backend = resolve_backend(
             backend, self.indexed.n, self.indexed.uniform_lengths
         )
-        # The numpy traversal state: int64 views of the current CSR (plus
-        # aligned edge lengths — exact int64 when the licence holds, float64
-        # otherwise — and the reverse CSR the repair kernels seed from),
-        # rebuilt/reset by _rebuild_csr and _rev_csr per profile version.
+        # The numpy traversal state (int64 CSR views plus aligned edge
+        # lengths — exact int64 when the licence holds, float64 otherwise)
+        # lives inside the published EngineSnapshot; only the lazily built
+        # reverse CSR the repair kernels seed from stays an engine-side
+        # cache, reset by _rebuild_csr per profile version.
         self._np_traversal = self.backend == "numpy"
-        self._indptr_np = None
-        self._indices_np = None
-        self._edge_lengths_np = None
-        self._edge_lengths_exact_np = None
         self._rev_csr_np = None
         # Repair beats recompute only while the pending edits reach a small
         # part of the graph: past this many distinct net movers the affected
@@ -296,9 +298,19 @@ class CostEngine:
         # same incremental way.
         self._label_strategies: Optional[List[frozenset]] = None
         self._sorted_rows: List[List[int]] = []
-        self._indptr: List[int] = [0] * (self.indexed.n + 1)
-        self._indices: List[int] = []
-        self._edge_lengths: Optional[List[float]] = None
+        # The frozen read-view of the current profile version: everything a
+        # traversal consumes (CSR, lengths, synced strategies, static
+        # tables).  _rebuild_csr publishes a *fresh* snapshot per sync and
+        # never mutates an old one, so readers holding a snapshot are safe
+        # across engine syncs; _indptr/_indices/_edge_lengths and the _np
+        # mirrors below are read-through properties over it.
+        self._snapshot = EngineSnapshot(
+            version=0,
+            indexed=self.indexed,
+            indptr=[0] * (self.indexed.n + 1),
+            indices=[],
+            edge_lengths=None,
+        )
         # In-neighbour sets of the current snapshot, maintained alongside the
         # CSR; the repair kernels seed orphaned nodes from their intact
         # in-boundary, which a forward-only CSR cannot answer.
@@ -585,35 +597,89 @@ class CostEngine:
             for u in changed:
                 self._sorted_rows[u] = sorted(strategies[u])
         rows = self._sorted_rows
-        self._indptr, self._indices = build_csr(rows)
-        if indexed.uniform_lengths:
-            self._edge_lengths = None
-        else:
+        indptr, indices = build_csr(rows)
+        edge_lengths: Optional[List[float]] = None
+        if not indexed.uniform_lengths:
             lengths: List[float] = []
             for u, row in enumerate(rows):
                 length_row = indexed.length_rows[u]
                 lengths.extend(length_row[v] for v in row)
-            self._edge_lengths = lengths
+            edge_lengths = lengths
+        indptr_np = indices_np = edge_lengths_np = edge_lengths_exact_np = None
         if self._np_traversal:
-            self._indptr_np, self._indices_np = _npk.csr_arrays(
-                self._indptr, self._indices
-            )
-            if indexed.uniform_lengths:
-                self._edge_lengths_np = None
-                self._edge_lengths_exact_np = None
-            else:
-                self._edge_lengths_np = _np.asarray(
-                    self._edge_lengths, dtype=_np.float64
-                )
+            indptr_np, indices_np = _npk.csr_arrays(indptr, indices)
+            if not indexed.uniform_lengths:
+                edge_lengths_np = _np.asarray(edge_lengths, dtype=_np.float64)
                 # Integer-valued lengths run the fresh traversals in exact
                 # int64 space; repairs patch the float rows directly (their
                 # entries are those same integers in float form).
-                self._edge_lengths_exact_np = (
-                    self._edge_lengths_np.astype(_np.int64)
+                edge_lengths_exact_np = (
+                    edge_lengths_np.astype(_np.int64)
                     if indexed.integral_lengths
                     else None
                 )
             self._rev_csr_np = None
+        # Publish the new read-view atomically: one fresh frozen object per
+        # version, never a mutation of the previous one — snapshots handed
+        # out earlier stay internally consistent forever.
+        strategies = self._strategies
+        label_strategies = self._label_strategies
+        self._snapshot = EngineSnapshot(
+            version=self.version,
+            indexed=indexed,
+            indptr=indptr,
+            indices=indices,
+            edge_lengths=edge_lengths,
+            indptr_np=indptr_np,
+            indices_np=indices_np,
+            edge_lengths_np=edge_lengths_np,
+            edge_lengths_exact_np=edge_lengths_exact_np,
+            strategies=None if strategies is None else tuple(strategies),
+            label_strategies=(
+                None if label_strategies is None else tuple(label_strategies)
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot read-throughs
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> EngineSnapshot:
+        """Return the frozen read-view of the current profile version.
+
+        The returned object is immutable and remains valid (and internally
+        consistent) after further :meth:`sync` calls — later syncs publish
+        *new* snapshots rather than mutating this one.  It is the only
+        engine state the kernels and the sweep layer consume.
+        """
+        return self._snapshot
+
+    @property
+    def _indptr(self) -> List[int]:
+        return self._snapshot.indptr
+
+    @property
+    def _indices(self) -> List[int]:
+        return self._snapshot.indices
+
+    @property
+    def _edge_lengths(self) -> Optional[List[float]]:
+        return self._snapshot.edge_lengths
+
+    @property
+    def _indptr_np(self):
+        return self._snapshot.indptr_np
+
+    @property
+    def _indices_np(self):
+        return self._snapshot.indices_np
+
+    @property
+    def _edge_lengths_np(self):
+        return self._snapshot.edge_lengths_np
+
+    @property
+    def _edge_lengths_exact_np(self):
+        return self._snapshot.edge_lengths_exact_np
 
     def _rev_csr(self):
         """Return the current snapshot's reverse CSR (numpy backend, lazy).
@@ -622,9 +688,8 @@ class CostEngine:
         at that version; ``_rebuild_csr`` resets it on each sync.
         """
         if self._rev_csr_np is None:
-            self._rev_csr_np = _npk.reverse_csr(
-                self._indptr_np, self._indices_np, self.indexed.n
-            )
+            indptr_np, indices_np, _, _ = csr_arrays_of(self._snapshot)
+            self._rev_csr_np = _npk.reverse_csr(indptr_np, indices_np, self.indexed.n)
         return self._rev_csr_np
 
     def _require_sync(self) -> None:
@@ -637,7 +702,9 @@ class CostEngine:
         ``None`` before the first sync; indexed by dense node id, in the
         same order as :attr:`IndexedGame.labels`.  This is the snapshot the
         sweep layer compares against to decide whether a node's masked
-        ``d_{G-u}`` rows are still valid without forcing a sync.
+        ``d_{G-u}`` rows are still valid without forcing a sync.  Readers
+        that also want the CSR should take :meth:`snapshot` instead — the
+        frozen view carries the same strategies plus everything else.
         """
         return self._label_strategies
 
@@ -801,7 +868,8 @@ class CostEngine:
         changed_hops: List[int] = []
         if edits:
             n = indexed.n
-            indptr, indices = self._indptr, self._indices
+            snap = self._snapshot
+            indptr, indices, edge_lengths = csr_of(snap)
             rev = self._rev_rows
             uniform = indexed.uniform_lengths
             unit = indexed.unit_length
@@ -810,6 +878,7 @@ class CostEngine:
             inf = math.inf
             use_np = self._np_traversal
             if use_np:
+                indptr_np, indices_np, edge_lengths_np, _ = csr_arrays_of(snap)
                 rev_indptr, rev_tails = self._rev_csr()
                 length_matrix = None if uniform else indexed.length_matrix()
             positions: Optional[Dict[int, int]] = None
@@ -824,7 +893,7 @@ class CostEngine:
                 elif uniform:
                     if use_np:
                         touched = _npk.repair_hops_csr_np(
-                            self._indptr_np, self._indices_np, hop_row,
+                            indptr_np, indices_np, hop_row,
                             first_hop, edits, rev_indptr, rev_tails, u,
                         )
                     else:
@@ -836,7 +905,7 @@ class CostEngine:
                         row[t] = float(h) * unit if h >= 0 else inf
                 elif use_np:
                     touched = _npk.repair_dijkstra_csr_np(
-                        self._indptr_np, self._indices_np, self._edge_lengths_np,
+                        indptr_np, indices_np, edge_lengths_np,
                         row, first_hop, edits, rev_indptr, rev_tails,
                         length_matrix, u,
                     )
@@ -844,7 +913,7 @@ class CostEngine:
                     touched = repair_dijkstra_csr(
                         indptr,
                         indices,
-                        self._edge_lengths,
+                        edge_lengths,
                         row,
                         first_hop,
                         edits,
@@ -1139,35 +1208,35 @@ class CostEngine:
             masks = [member for member, _ in work]
             start = time.perf_counter()
             scaled = None
+            snap = self._snapshot
             if self._np_traversal:
+                indptr_np, indices_np, lengths_np, exact = csr_arrays_of(snap)
                 if uniform:
                     # Fused form: the kernel assembles the scaled float rows
                     # from its narrow internal counter, saving a full pass
                     # over the int64 hop matrix per giant chunk.
                     matrix, scaled = _npk.bfs_hops_csr_multi(
-                        self._indptr_np, self._indices_np, n, sources, masks,
+                        indptr_np, indices_np, n, sources, masks,
                         scale_unit=indexed.unit_length,
                     )
                 else:
-                    exact = self._edge_lengths_exact_np
-                    lengths = exact if exact is not None else self._edge_lengths_np
+                    lengths = exact if exact is not None else lengths_np
                     matrix = _npk.dijkstra_csr_multi(
-                        self._indptr_np, self._indices_np, lengths, n, sources, masks
+                        indptr_np, indices_np, lengths, n, sources, masks
                     )
                     if exact is not None:
                         matrix = _npk.int_to_float_rows(matrix)
             elif uniform:
-                matrix = bfs_hops_csr_multi(
-                    self._indptr, self._indices, n, sources, masks
-                )
+                indptr, indices, _ = csr_of(snap)
+                matrix = bfs_hops_csr_multi(indptr, indices, n, sources, masks)
                 scaled = [
                     scaled_float_row(hop_row, indexed.unit_length)
                     for hop_row in matrix
                 ]
             else:
+                indptr, indices, edge_lengths = csr_of(snap)
                 matrix = dijkstra_csr_multi(
-                    self._indptr, self._indices, self._edge_lengths, n,
-                    sources, masks,
+                    indptr, indices, edge_lengths, n, sources, masks
                 )
             self.timings["traversal_seconds"] += time.perf_counter() - start
             per_node_bytes: Dict[int, int] = {}
@@ -1206,22 +1275,24 @@ class CostEngine:
     # ------------------------------------------------------------------ #
     def _compute_row(self, source: int, forbidden: int) -> Row:
         indexed = self.indexed
+        snap = self._snapshot
         if indexed.uniform_lengths:
             if self._np_traversal:
+                indptr_np, indices_np, _, _ = csr_arrays_of(snap)
                 hops_np = _npk.bfs_hops_csr_np(
-                    self._indptr_np, self._indices_np, indexed.n, source, forbidden
+                    indptr_np, indices_np, indexed.n, source, forbidden
                 )
                 return _npk.scaled_float_rows(hops_np, indexed.unit_length)
-            hops = bfs_hops_csr(
-                self._indptr, self._indices, indexed.n, source, forbidden
-            )
+            indptr, indices, _ = csr_of(snap)
+            hops = bfs_hops_csr(indptr, indices, indexed.n, source, forbidden)
             return scaled_float_row(hops, indexed.unit_length)
         if self._np_traversal:
             return self._dijkstra_row_np(source, forbidden)
+        indptr, indices, edge_lengths = csr_of(snap)
         return dijkstra_csr(
-            self._indptr,
-            self._indices,
-            self._edge_lengths,
+            indptr,
+            indices,
+            edge_lengths,
             indexed.n,
             source,
             forbidden,
@@ -1235,15 +1306,15 @@ class CostEngine:
         :attr:`IndexedGame.integral_lengths` gate); other lengths traverse in
         float64, which reproduces the heap kernel's labels bit for bit.
         """
-        exact = self._edge_lengths_exact_np
+        indptr_np, indices_np, lengths_np, exact = csr_arrays_of(self._snapshot)
         if exact is not None:
             dist = _npk.dijkstra_csr_np(
-                self._indptr_np, self._indices_np, exact,
+                indptr_np, indices_np, exact,
                 self.indexed.n, source, forbidden,
             )
             return _npk.int_to_float_rows(dist)
         return _npk.dijkstra_csr_np(
-            self._indptr_np, self._indices_np, self._edge_lengths_np,
+            indptr_np, indices_np, lengths_np,
             self.indexed.n, source, forbidden,
         )
 
@@ -1287,14 +1358,14 @@ class CostEngine:
                 else:
                     hop_rows = hop_entry[1]
                 if self._np_traversal:
+                    indptr_np, indices_np, _, _ = csr_arrays_of(self._snapshot)
                     hop_row = _npk.bfs_hops_csr_np(
-                        self._indptr_np, self._indices_np, indexed.n, first_hop, u
+                        indptr_np, indices_np, indexed.n, first_hop, u
                     )
                     row = _npk.scaled_float_rows(hop_row, indexed.unit_length)
                 else:
-                    hop_row = bfs_hops_csr(
-                        self._indptr, self._indices, indexed.n, first_hop, u
-                    )
+                    indptr, indices, _ = csr_of(self._snapshot)
+                    hop_row = bfs_hops_csr(indptr, indices, indexed.n, first_hop, u)
                     row = scaled_float_row(hop_row, indexed.unit_length)
                 hop_rows[first_hop] = hop_row
                 added = _payload_nbytes(row) + _payload_nbytes(hop_row)
@@ -1302,10 +1373,11 @@ class CostEngine:
                 if self._np_traversal:
                     row = self._dijkstra_row_np(first_hop, u)
                 else:
+                    indptr, indices, edge_lengths = csr_of(self._snapshot)
                     row = dijkstra_csr(
-                        self._indptr,
-                        self._indices,
-                        self._edge_lengths,
+                        indptr,
+                        indices,
+                        edge_lengths,
                         indexed.n,
                         first_hop,
                         u,
@@ -1419,6 +1491,7 @@ class CostEngine:
         indexed = self.indexed
         added = 0
         start = time.perf_counter()
+        indptr_np, indices_np, lengths_np, exact = csr_arrays_of(self._snapshot)
         if indexed.uniform_lengths:
             hop_entry = self._hop_cache.get(u)
             if hop_entry is None:
@@ -1427,7 +1500,7 @@ class CostEngine:
             else:
                 hop_rows = hop_entry[1]
             matrix = _npk.bfs_hops_csr_multi(
-                self._indptr_np, self._indices_np, indexed.n, missing, u
+                indptr_np, indices_np, indexed.n, missing, u
             )
             scaled = _npk.scaled_float_rows(matrix, indexed.unit_length)
             for i, a in enumerate(missing):
@@ -1435,10 +1508,9 @@ class CostEngine:
                 rows[a] = scaled[i]
                 added += _payload_nbytes(matrix[i]) + _payload_nbytes(scaled[i])
         else:
-            exact = self._edge_lengths_exact_np
-            lengths = exact if exact is not None else self._edge_lengths_np
+            lengths = exact if exact is not None else lengths_np
             matrix = _npk.dijkstra_csr_multi(
-                self._indptr_np, self._indices_np, lengths, indexed.n, missing, u
+                indptr_np, indices_np, lengths, indexed.n, missing, u
             )
             if exact is not None:
                 matrix = _npk.int_to_float_rows(matrix)
@@ -1566,10 +1638,12 @@ class CostEngine:
             # sources are batched.
             n = indexed.n
             uniform = indexed.uniform_lengths
+            snap = self._snapshot
+            indptr_np, indices_np, lengths_np, exact = csr_arrays_of(snap)
             per_row = 16 * n if uniform else 8 * n
             chunk_rows = max(1, min(n, GIANT_CHUNK_TARGET_BYTES // per_row))
             if not uniform:
-                edges = max(1, len(self._indices))
+                edges = max(1, len(snap.indices))
                 chunk_rows = min(
                     chunk_rows, max(16, GIANT_CHUNK_TARGET_BYTES // (8 * edges))
                 )
@@ -1580,16 +1654,13 @@ class CostEngine:
                 start = time.perf_counter()
                 if uniform:
                     matrix = _npk.scaled_float_rows(
-                        _npk.bfs_hops_csr_multi(
-                            self._indptr_np, self._indices_np, n, sources
-                        ),
+                        _npk.bfs_hops_csr_multi(indptr_np, indices_np, n, sources),
                         indexed.unit_length,
                     )
                 else:
-                    exact = self._edge_lengths_exact_np
-                    lengths = exact if exact is not None else self._edge_lengths_np
+                    lengths = exact if exact is not None else lengths_np
                     matrix = _npk.dijkstra_csr_multi(
-                        self._indptr_np, self._indices_np, lengths, n, sources
+                        indptr_np, indices_np, lengths, n, sources
                     )
                     if exact is not None:
                         matrix = _npk.int_to_float_rows(matrix)

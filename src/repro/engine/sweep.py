@@ -61,6 +61,89 @@ DEFAULT_SWEEP_LIMIT = 5_000_000
 DEFAULT_MEMO_ENTRY_LIMIT = 1_000_000
 
 
+def _resolve_gray_space(
+    game: BBCGame,
+    sets: Optional[Mapping[Node, Sequence[Strategy]]],
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]],
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]],
+    limit: float,
+):
+    """Resolve the per-node strategy sets and the Gray digit layout.
+
+    Returns ``(nodes, resolved, digit_nodes, radix, size)`` where
+    ``digit_nodes`` are the multi-option nodes in digit order (digit 0 = the
+    last such node in declaration order = fastest-varying, mirroring
+    ``itertools.product``) and ``size`` is the exact product cardinality (0
+    when any node's set is empty).  Raises
+    :class:`~repro.core.errors.SearchSpaceTooLarge` past ``limit``.
+    """
+    from ..core.search import candidate_strategy_sets
+
+    if sets is not None:
+        if candidate_strategies is not None:
+            raise ValueError("pass either `sets` or `candidate_strategies`, not both")
+        candidate_strategies = sets
+    resolved = candidate_strategy_sets(game, candidate_strategies, candidate_targets)
+
+    nodes = list(game.nodes)
+    size = 1
+    for node in nodes:
+        size *= max(1, len(resolved[node]))
+    if size > limit:
+        raise SearchSpaceTooLarge("Gray-code profile enumeration", size, limit)
+    if any(not resolved[node] for node in nodes):
+        size = 0
+    digit_nodes = [node for node in reversed(nodes) if len(resolved[node]) >= 2]
+    radix = [len(resolved[node]) for node in digit_nodes]
+    return nodes, resolved, digit_nodes, radix, size
+
+
+def _gray_digits(rank: int, radix: List[int]) -> List[int]:
+    """Return the reflected-Gray digit vector of ``rank`` (digit 0 fastest).
+
+    In mixed-radix reflected Gray order the plain counter digits of ``rank``
+    are ``b_j = (rank // prod(radix[:j])) % radix[j]``, and digit ``j``
+    sweeps its range forward or backward depending on how many full passes
+    it has completed — the quotient ``rank // prod(radix[:j+1])``.  Even
+    quotient: the Gray digit is ``b_j`` itself; odd: the reflection
+    ``radix[j]-1-b_j``.  That alternation is exactly what makes consecutive
+    ranks differ in a single digit.
+    """
+    gray = []
+    quotient = rank
+    for m in radix:
+        quotient, b = divmod(quotient, m)
+        gray.append(b if quotient % 2 == 0 else m - 1 - b)
+    return gray
+
+
+def profile_at(
+    game: BBCGame,
+    rank: int,
+    sets: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    *,
+    candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]] = None,
+    candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
+    limit: float = DEFAULT_SWEEP_LIMIT,
+) -> StrategyProfile:
+    """Return the ``rank``-th profile of :func:`gray_code_profiles` directly.
+
+    Seeks the mixed-radix reflected Gray word in O(nodes) without enumerating
+    the ``rank`` profiles before it — the primitive that lets sharded sweeps
+    hand each worker a contiguous subrange (``start=`` below) of the exact
+    serial order.  Raises ``IndexError`` outside ``[0, size)``.
+    """
+    nodes, resolved, digit_nodes, radix, size = _resolve_gray_space(
+        game, sets, candidate_strategies, candidate_targets, limit
+    )
+    if not 0 <= rank < size:
+        raise IndexError(f"profile rank {rank} out of range [0, {size})")
+    current: Dict[Node, Strategy] = {node: resolved[node][0] for node in nodes}
+    for node, digit in zip(digit_nodes, _gray_digits(rank, radix)):
+        current[node] = resolved[node][digit]
+    return StrategyProfile(current)
+
+
 def gray_code_profiles(
     game: BBCGame,
     sets: Optional[Mapping[Node, Sequence[Strategy]]] = None,
@@ -68,6 +151,8 @@ def gray_code_profiles(
     candidate_strategies: Optional[Mapping[Node, Sequence[Strategy]]] = None,
     candidate_targets: Optional[Mapping[Node, Sequence[Node]]] = None,
     limit: float = DEFAULT_SWEEP_LIMIT,
+    start: int = 0,
+    stop: Optional[int] = None,
 ) -> Iterator[StrategyProfile]:
     """Yield every profile over the per-node strategy sets in Gray order.
 
@@ -79,50 +164,78 @@ def gray_code_profiles(
     :func:`repro.core.enumerate_profiles`.  The last node in declaration
     order varies fastest, mirroring ``itertools.product``.
 
+    ``start``/``stop`` select the half-open rank subrange ``[start, stop)``
+    of that same order (``stop=None`` = the end): the first profile is
+    seeked in O(nodes) via :func:`profile_at`'s digit arithmetic and the
+    rest follow incrementally, so a sharded sweep over ``k`` contiguous
+    subranges yields exactly the serial stream, partitioned — each
+    subrange still steps one node at a time internally.
+
     The search-space size is estimated up front; exceeding ``limit`` raises
     :class:`~repro.core.errors.SearchSpaceTooLarge`.
     """
-    from ..core.search import candidate_strategy_sets
-
-    if sets is not None:
-        if candidate_strategies is not None:
-            raise ValueError("pass either `sets` or `candidate_strategies`, not both")
-        candidate_strategies = sets
-    resolved = candidate_strategy_sets(game, candidate_strategies, candidate_targets)
-
-    nodes = list(game.nodes)
-    size = 1.0
-    for node in nodes:
-        size *= max(1, len(resolved[node]))
-    if size > limit:
-        raise SearchSpaceTooLarge("Gray-code profile enumeration", size, limit)
-    if any(not resolved[node] for node in nodes):
-        return  # an empty strategy set empties the whole product
+    nodes, resolved, digit_nodes, radix, size = _resolve_gray_space(
+        game, sets, candidate_strategies, candidate_targets, limit
+    )
+    if start < 0 or (stop is not None and stop < start):
+        raise ValueError(f"invalid Gray subrange [{start}, {stop})")
+    hi = size if stop is None else min(stop, size)
+    if size == 0 or start >= hi:
+        return  # empty product or empty subrange
 
     current: Dict[Node, Strategy] = {node: resolved[node][0] for node in nodes}
-    yield StrategyProfile(current)
-
-    # Gray digits: nodes with >= 2 options, last node fastest (digit 0).
-    digit_nodes = [node for node in reversed(nodes) if len(resolved[node]) >= 2]
     m = len(digit_nodes)
-    if m == 0:
-        return
-    radix = [len(resolved[node]) for node in digit_nodes]
-    value = [0] * m
-    direction = [1] * m
-    focus = list(range(m + 1))
-    while True:
-        j = focus[0]
-        focus[0] = 0
-        if j == m:
+
+    if start == 0 and hi == size:
+        # Full enumeration: Knuth 7.2.1.1 Algorithm H, loopless per step.
+        yield StrategyProfile(current)
+        if m == 0:
             return
-        value[j] += direction[j]
-        if value[j] == 0 or value[j] == radix[j] - 1:
-            direction[j] = -direction[j]
-            focus[j] = focus[j + 1]
-            focus[j + 1] = j + 1
+        value = [0] * m
+        direction = [1] * m
+        focus = list(range(m + 1))
+        while True:
+            j = focus[0]
+            focus[0] = 0
+            if j == m:
+                return
+            value[j] += direction[j]
+            if value[j] == 0 or value[j] == radix[j] - 1:
+                direction[j] = -direction[j]
+                focus[j] = focus[j + 1]
+                focus[j + 1] = j + 1
+            node = digit_nodes[j]
+            current[node] = resolved[node][value[j]]
+            yield StrategyProfile(current)
+
+    # Subrange: seek the Gray word of `start` in closed form, then advance a
+    # plain mixed-radix counter; between consecutive ranks only the digit
+    # where the counter's carry stops changes in the Gray word (reflection
+    # swallows the rolled-over lower digits), so each step is one strategy
+    # edit — the same single-edit stream a worker's local engine wants.
+    b = [0] * m
+    remaining = start
+    for j in range(m):
+        remaining, b[j] = divmod(remaining, radix[j])
+    for node, digit in zip(digit_nodes, _gray_digits(start, radix)):
+        current[node] = resolved[node][digit]
+    yield StrategyProfile(current)
+    prefix = [1]
+    for m_j in radix:
+        prefix.append(prefix[-1] * m_j)
+    for rank in range(start + 1, hi):
+        j = 0
+        while b[j] == radix[j] - 1:
+            b[j] = 0
+            j += 1
+        b[j] += 1
+        digit = (
+            b[j]
+            if (rank // prefix[j + 1]) % 2 == 0
+            else radix[j] - 1 - b[j]
+        )
         node = digit_nodes[j]
-        current[node] = resolved[node][value[j]]
+        current[node] = resolved[node][digit]
         yield StrategyProfile(current)
 
 
@@ -175,7 +288,10 @@ class SweepEvaluator:
         self.engine: CostEngine = resolved
         self.tolerance = float(tolerance)
         self.deviation_limit = deviation_limit
-        self.labels: Tuple[Node, ...] = resolved.indexed.labels
+        # Static game facts come off the engine's frozen snapshot, not its
+        # internals — the same read path pool workers use over an attached
+        # shared snapshot.
+        self.labels: Tuple[Node, ...] = resolved.snapshot().labels
         self._n = len(self.labels)
         self._strategies: Optional[List[FrozenSet[Node]]] = None
         self._last_verdict: Optional[bool] = None
@@ -225,7 +341,7 @@ class SweepEvaluator:
         mover: Optional[int] = None
         if changed is not None and len(changed) == 1:
             mover = changed[0]
-            snapshot = self.engine.snapshot_strategies()
+            snapshot = self.engine.snapshot().label_strategies
             if snapshot is not None and all(
                 u == mover or strategies[u] == snapshot[u] for u in range(self._n)
             ):
@@ -357,4 +473,9 @@ class SweepEvaluator:
             self.stats["memo_resets"] += 1
 
 
-__all__ = ["gray_code_profiles", "SweepEvaluator", "DEFAULT_SWEEP_LIMIT"]
+__all__ = [
+    "DEFAULT_SWEEP_LIMIT",
+    "SweepEvaluator",
+    "gray_code_profiles",
+    "profile_at",
+]

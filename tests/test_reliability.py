@@ -23,7 +23,17 @@ from repro.core.profile import StrategyProfile
 from repro.core.search import exhaustive_equilibrium_search
 from repro.engine import CostEngine, resolve_backend
 from repro.experiments.dynamics_study import max_cost_first_convergence_study
-from repro.experiments.parallel import GameSpec, last_run_stats, parallel_map
+from repro.experiments.parallel import (
+    SHM_NAME_PREFIX,
+    GameSpec,
+    SharedPayload,
+    active_export_names,
+    attach_payload,
+    default_processes,
+    last_run_stats,
+    parallel_map,
+    resolve_processes,
+)
 from repro.reliability import (
     CheckpointError,
     CheckpointJournal,
@@ -679,6 +689,8 @@ class TestFaultSiteRegistry:
             "engine.row-poison",
             "fractional.lp-solve",
             "parallel.pool-start",
+            "parallel.shm-attach",
+            "parallel.shm-create",
             "parallel.task",
             "search.profile",
         ):
@@ -709,3 +721,178 @@ class TestFaultSiteRegistry:
             FaultPlan.seeded(  # repro: noqa[RPR004] — deliberate typo under test
                 3, ["parallel.tsak"], probability=0.5
             )
+
+
+# --------------------------------------------------------------------------- #
+# Worker-count resolution: affinity-aware defaults, REPRO_PROCESSES override
+# --------------------------------------------------------------------------- #
+class TestProcessResolution:
+    def test_explicit_counts_pass_through_validated(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        assert resolve_processes(3) == 3
+        with pytest.raises(ValueError):
+            resolve_processes(0)
+
+    def test_none_means_one_worker_per_available_cpu(self, monkeypatch):
+        from repro.experiments import parallel as parallel_mod
+
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        monkeypatch.setattr(parallel_mod, "_available_cpus", lambda: 3)
+        assert resolve_processes(None) == 3
+        assert default_processes(cap=2) == 2  # the benchmark default caps
+        assert default_processes(cap=8) == 3
+
+    def test_available_cpus_respects_affinity_mask(self):
+        import os
+
+        from repro.experiments.parallel import _available_cpus
+
+        count = _available_cpus()
+        assert count >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert count == len(os.sched_getaffinity(0))
+
+    def test_env_override_replaces_detected_default_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "5")
+        assert resolve_processes(None) == 5
+        assert default_processes(cap=2) == 5  # configuration bypasses the cap
+        assert resolve_processes(4) == 4  # explicit counts always win
+        for bad in ("zero", "0", "-1"):
+            monkeypatch.setenv("REPRO_PROCESSES", bad)
+            with pytest.raises(ValueError):
+                resolve_processes(None)
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory payload exports: lifecycle, degradation, leak-freedom
+# --------------------------------------------------------------------------- #
+def _devshm_strays():
+    import os
+
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith(SHM_NAME_PREFIX)]
+    except FileNotFoundError:  # no shared-memory mount on this platform
+        return []
+
+
+class TestSharedPayload:
+    def test_create_attach_close_roundtrip(self):
+        payload = SharedPayload.create({"base": 2, "row": [1.5, 2.5]})
+        try:
+            obj, arrays = attach_payload(payload.ref)
+            assert obj == {"base": 2, "row": [1.5, 2.5]}
+            assert arrays == {}
+        finally:
+            payload.close()
+        payload.close()  # idempotent
+        assert active_export_names() == []
+        assert _devshm_strays() == []
+        with pytest.raises(ValueError):
+            payload.ref  # a closed shm payload has no shippable handle
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="array blocks require numpy")
+    def test_array_blocks_attach_as_readonly_views(self):
+        import numpy as np
+
+        arr = np.arange(6, dtype=np.int64) * 7
+        payload = SharedPayload.create({"k": 1}, {"a": arr})
+        try:
+            obj, arrays = attach_payload(payload.ref)
+            assert obj == {"k": 1}
+            assert arrays["a"].tolist() == arr.tolist()
+            assert not arrays["a"].flags.writeable
+            # Second attach in the same process is a cache hit.
+            again, arrays2 = attach_payload(payload.ref)
+            assert again is obj
+        finally:
+            payload.close()
+        assert _devshm_strays() == []
+
+    def test_create_fault_degrades_to_inline_bytes(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="parallel.shm-create", kind="error", times=1),)
+        )
+        with active_faults(plan):
+            with pytest.warns(RuntimeWarning, match="inline"):
+                payload = SharedPayload.create({"x": 9})
+        assert payload.ref[0] == "inline"
+        obj, arrays = attach_payload(payload.ref)
+        assert obj == {"x": 9} and arrays == {}
+        payload.close()  # no-op: nothing was exported
+        assert active_export_names() == []
+
+
+class TestShardedSearchFaults:
+    """Sharded exhaustive search under injected shm faults and worker crashes.
+
+    The contract under test: at any worker count and any armed fault plan the
+    sharded search either returns the bit-identical serial summary or raises
+    the documented typed error — and shared segments never outlive the run.
+    """
+
+    def _game(self):
+        return UniformBBCGame(4, 2)
+
+    def _serial(self, game):
+        return exhaustive_equilibrium_search(
+            game, stop_at_first=False, checkpoint_every=8
+        )
+
+    def _sharded(self, game, processes=2):
+        return exhaustive_equilibrium_search(
+            game, stop_at_first=False, checkpoint_every=8, processes=processes
+        )
+
+    def test_shm_attach_fault_is_retried_in_pool(self):
+        game = self._game()
+        serial = self._serial(game)
+        plan = FaultPlan(
+            rules=(FaultRule(site="parallel.shm-attach", kind="error", times=1),)
+        )
+        with active_faults(plan):
+            assert self._sharded(game) == serial
+        assert active_export_names() == []
+        assert _devshm_strays() == []
+
+    def test_shm_create_fault_runs_inline_identically(self):
+        game = self._game()
+        serial = self._serial(game)
+        plan = FaultPlan(
+            rules=(FaultRule(site="parallel.shm-create", kind="error", times=1),)
+        )
+        with active_faults(plan):
+            with pytest.warns(RuntimeWarning, match="inline"):
+                assert self._sharded(game) == serial
+        assert active_export_names() == []
+        assert _devshm_strays() == []
+
+    def test_cell_crash_resubmits_on_fresh_pool(self):
+        game = self._game()
+        serial = self._serial(game)
+        plan = FaultPlan(
+            rules=(FaultRule(site="parallel.task", kind="crash", keys=[(0, 0)]),)
+        )
+        with active_faults(plan):
+            assert self._sharded(game) == serial
+        assert last_run_stats()["pool_restarts"] >= 1
+        assert active_export_names() == []
+        assert _devshm_strays() == []
+
+    def test_profile_crash_exhausts_restarts_then_serial_fallback(self):
+        # Every fresh worker re-arms the plan with zero hits, so the crash at
+        # Gray rank 10 re-fires on every pool generation; after the restart
+        # budget the parent runs the lost shards in-process, where
+        # where="worker" crash rules are inert — identical summary, no leak.
+        game = self._game()
+        serial = self._serial(game)
+        plan = FaultPlan(
+            rules=(FaultRule(site="search.profile", kind="crash", keys=[10]),)
+        )
+        with active_faults(plan):
+            with pytest.warns(RuntimeWarning, match="restarts are exhausted"):
+                assert self._sharded(game) == serial
+        stats = last_run_stats()
+        assert stats["pool_restarts"] >= 1
+        assert stats["serial_fallback_cells"] >= 1
+        assert active_export_names() == []
+        assert _devshm_strays() == []

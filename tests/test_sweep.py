@@ -33,7 +33,7 @@ from repro.core import (
     sampled_equilibrium_search,
 )
 from repro.core.search import candidate_strategy_sets
-from repro.engine import CostEngine, SweepEvaluator, gray_code_profiles
+from repro.engine import CostEngine, SweepEvaluator, gray_code_profiles, profile_at
 from repro.experiments import GameSpec, parallel_map
 from repro.experiments.workloads import latency_overlay_game
 
@@ -101,6 +101,74 @@ def test_gray_profiles_all_singleton_sets_yields_one_profile():
     sets = {node: [frozenset({(node + 1) % 4})] for node in range(4)}
     profiles = list(gray_code_profiles(game, sets))
     assert len(profiles) == 1
+
+
+# --------------------------------------------------------------------- #
+# O(1) Gray seeking: profile_at and start/stop subranges
+# --------------------------------------------------------------------- #
+@st.composite
+def _mixed_radix_spaces(draw):
+    """A uniform game plus candidate sets of mixed radices 1..4 per node.
+
+    Radix-1 draws pin nodes to singleton sets and prefix draws restrict the
+    candidate pool — the degenerate shapes a seek formula is likeliest to
+    get wrong (the pre-fix parity bug only surfaced past radix 4).
+    """
+    game = UniformBBCGame(5, 1)
+    sets = {}
+    for node in game.nodes:
+        options = sorted(
+            game.feasible_strategies(node, maximal_only=True), key=repr
+        )
+        order = draw(st.permutations(options))
+        radix = draw(st.integers(min_value=1, max_value=len(options)))
+        sets[node] = list(order[:radix])
+    return game, sets
+
+
+@settings(max_examples=40, deadline=None)
+@given(space=_mixed_radix_spaces(), data=st.data())
+def test_profile_at_matches_enumeration(space, data):
+    game, sets = space
+    full = list(gray_code_profiles(game, sets))
+    size = 1
+    for node in game.nodes:
+        size *= len(sets[node])
+    assert len(full) == size
+    for rank in range(size):
+        assert profile_at(game, rank, sets) == full[rank]
+    for rank in (-1, size):
+        with pytest.raises(IndexError):
+            profile_at(game, rank, sets)
+    # Any subrange is exactly the serial stream, sliced.
+    start = data.draw(st.integers(min_value=0, max_value=size))
+    stop = data.draw(st.integers(min_value=start, max_value=size + 2))
+    assert list(gray_code_profiles(game, sets, start=start, stop=stop)) == (
+        full[start:stop]
+    )
+    assert list(gray_code_profiles(game, sets, start=start)) == full[start:]
+
+
+def test_gray_subranges_partition_the_serial_stream():
+    # Radices [6, 6, 6, 6, 6]: large enough to catch the reflection-parity
+    # regression (digit-sum parity first diverges from quotient parity at
+    # rank 36 of a radix-6 space).
+    game = UniformBBCGame(5, 2)
+    full = list(gray_code_profiles(game))
+    assert len(full) == 6 ** 5
+    for pieces in (2, 3, 7):
+        bounds = [len(full) * i // pieces for i in range(pieces + 1)]
+        glued = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            glued.extend(gray_code_profiles(game, start=lo, stop=hi))
+        assert glued == full
+    strides = list(range(0, len(full), 611)) + [35, 36, 37, len(full) - 1]
+    for rank in strides:
+        assert profile_at(game, rank) == full[rank]
+    with pytest.raises(ValueError):
+        list(gray_code_profiles(game, start=-1))
+    with pytest.raises(ValueError):
+        list(gray_code_profiles(game, start=5, stop=4))
 
 
 # --------------------------------------------------------------------- #
@@ -284,6 +352,61 @@ def test_parallel_map_preserves_order_and_matches_serial():
 
 def _square(x):
     return x * x
+
+
+def test_sharded_search_bit_identical_to_serial():
+    game = UniformBBCGame(4, 2)
+    for stop in (True, False):
+        serial = exhaustive_equilibrium_search(game, stop_at_first=stop)
+        for processes in (2, 3):
+            sharded = exhaustive_equilibrium_search(
+                game, stop_at_first=stop, processes=processes
+            )
+            assert sharded == serial
+    # The reference path shards too (workers skip engine construction).
+    assert exhaustive_equilibrium_search(
+        game, stop_at_first=False, processes=2, engine=False
+    ) == exhaustive_equilibrium_search(game, stop_at_first=False, engine=False)
+
+
+def test_sharded_search_general_game_adopts_exported_tables():
+    game = random_weighted_game(3, n=5)
+    serial = exhaustive_equilibrium_search(
+        game, stop_at_first=False, checkpoint_every=64
+    )
+    sharded = exhaustive_equilibrium_search(
+        game, stop_at_first=False, checkpoint_every=64, processes=2
+    )
+    assert sharded == serial
+
+
+def test_sharded_search_rejects_explicit_engine_instance():
+    game = UniformBBCGame(4, 1)
+    with pytest.raises(ValueError):
+        exhaustive_equilibrium_search(game, engine=CostEngine(game), processes=2)
+    # processes=1 keeps accepting an explicit instance (the serial loop).
+    summary = exhaustive_equilibrium_search(game, engine=CostEngine(game))
+    assert summary == exhaustive_equilibrium_search(game)
+
+
+def test_equilibrium_census_study_shards_identically():
+    from repro.analysis import equilibrium_census_study
+
+    grid = [(4, 1), (4, 2)]
+    serial = equilibrium_census_study(grid)
+    assert equilibrium_census_study(grid, processes=2) == serial
+    assert serial[0]["equilibria"] == 6
+    assert all(row["exhausted"] for row in serial)
+
+
+def test_equilibrium_census_study_journal_resume(tmp_path):
+    from repro.analysis import equilibrium_census_study
+
+    grid = [(4, 1)]
+    first = equilibrium_census_study(grid, journal_dir=tmp_path)
+    assert (tmp_path / "census-n4-k1.json").exists()
+    resumed = equilibrium_census_study(grid, journal_dir=tmp_path, processes=2)
+    assert resumed == first
 
 
 def test_studies_identical_across_process_counts():
