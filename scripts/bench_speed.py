@@ -129,6 +129,16 @@ BACKEND_DIJKSTRA_FLOOR = 3.0
 #: least this much faster than the per-node-batch path (giant_batch=False)
 #: on the same numpy kernels.
 BACKEND_GIANT_FLOOR = 3.0
+#: The service load generator (``scripts/bench_service.py``) must sustain at
+#: least this many queries per second across its whole catalog; the floor is
+#: deliberately an order of magnitude under warm-cache measurements so it
+#: catches a serving-layer regression (per-query traversals, lost batching)
+#: rather than machine noise.
+SERVICE_QPS_FLOOR = 25.0
+#: The service load run must coalesce concurrently-submitted reads into
+#: giant batches: total batched queries per executed batch across the
+#: catalog.  A value near 1.0 means the worker loop stopped batching.
+SERVICE_COALESCING_FLOOR = 3.0
 FRACTIONAL_MAX_ROUNDS = 12
 FRACTIONAL_TOLERANCE = 1e-5
 #: Candidate targets per node in the backend reports: restricting deviations
@@ -914,6 +924,25 @@ def _backend_floor_violations(rows):
     return violations
 
 
+def _service_floor_violations(rows):
+    """Floor checks for the ``BENCH_service.json`` load-generator recording."""
+    total = next((row for row in rows if row.get("task") == "service_total"), None)
+    if total is None:
+        return ["service: recording has no service_total row"]
+    violations = []
+    if total["qps"] < SERVICE_QPS_FLOOR:
+        violations.append(
+            f"service: total throughput {total['qps']:.1f} q/s is below "
+            f"{SERVICE_QPS_FLOOR:g} q/s"
+        )
+    if total["coalescing_factor"] < SERVICE_COALESCING_FLOOR:
+        violations.append(
+            f"service: batch coalescing factor {total['coalescing_factor']:.2f} "
+            f"is below {SERVICE_COALESCING_FLOOR:g}"
+        )
+    return violations
+
+
 #: mode -> (results key, meta key, checker).  Smoke-recorded rows are skipped:
 #: smoke sizes are deliberately tiny and their ratios are noise, exactly as
 #: the per-mode post-run gates always treated them.
@@ -945,8 +974,13 @@ def floor_violations(payload, only_mode=None):
     return violations
 
 
-def check_floors(json_path):
+def check_floors(json_path, service_json_path=None):
     """The ``--check-floors`` entry point: validate the recorded trajectory.
+
+    Also validates the service load-generator recording
+    (``BENCH_service.json``, written by ``scripts/bench_service.py``) when
+    one sits next to ``json_path`` — the serving layer shares this one
+    regression gate rather than growing a second checker.
 
     Exit codes are distinct so CI can tell the failure classes apart:
     ``1`` for a missing recording or a floor violation, ``2`` for a
@@ -974,11 +1008,75 @@ def check_floors(json_path):
         for mode, (results_key, meta_key, _) in FLOOR_CHECKS.items()
         if payload.get(results_key) and not payload.get(meta_key, {}).get("smoke")
     ]
+    if service_json_path is None:
+        service_json_path = json_path.parent / "BENCH_service.json"
+    if service_json_path.exists():
+        try:
+            service_payload = json.loads(service_json_path.read_text())
+        except ValueError as exc:
+            print(
+                f"CORRUPT RECORDING: {service_json_path} exists but is not "
+                f"parseable JSON ({exc}); delete the file and re-run "
+                "scripts/bench_service.py",
+                file=sys.stderr,
+            )
+            return 2
+        if not service_payload.get("service_meta", {}).get("smoke"):
+            violations.extend(
+                _service_floor_violations(
+                    service_payload.get("service_results") or []
+                )
+            )
+            checked.append("service")
     if violations:
         for violation in violations:
             print(f"FLOOR VIOLATION: {violation}", file=sys.stderr)
         return 1
     print(f"floors ok for recorded modes: {', '.join(checked) if checked else '(none)'}")
+    return 0
+
+
+#: The rows README.md's trajectory table shows: one representative task per
+#: recorded mode (the task each mode's floor gates, where one exists).
+README_TABLE_TASKS = (
+    ("results", "equilibrium_report", "Equilibrium report (flat-array engine vs dict oracle)"),
+    ("sweep_results", "exhaustive_search", "Exhaustive sweep (Gray-code + memoised engine)"),
+    ("incremental_results", "incremental_walk", "Best-response walk (incremental row repair)"),
+    ("fractional_results", "fractional_dynamics", "Fractional dynamics (warm LP engine vs reference)"),
+    ("backend_results", "backend_dijkstra_report", "Dijkstra report (numpy kernels vs list kernels)"),
+    ("backend_results", "backend_giant_bfs_report", "Giant-batch BFS report (vs per-node batches)"),
+)
+
+
+def print_readme_table(json_path):
+    """Print the recorded trajectory as the markdown table README.md embeds.
+
+    The table is *generated from* ``BENCH_speed.json`` — after re-recording
+    a mode, re-run ``--readme-table`` and paste the output over the table in
+    README.md so the prose never drifts from the recording.
+    """
+    if not json_path.exists():
+        print(f"no {json_path}; run the benchmarks first", file=sys.stderr)
+        return 1
+    payload = json.loads(json_path.read_text())
+    lines = [
+        "| Scenario | n | Reference [s] | Engine [s] | Speedup |",
+        "| --- | ---: | ---: | ---: | ---: |",
+    ]
+    for results_key, task, label in README_TABLE_TASKS:
+        rows = [
+            row
+            for row in payload.get(results_key, [])
+            if row.get("task") == task and row.get("speedup") is not None
+        ]
+        if not rows:
+            continue
+        row = max(rows, key=lambda r: r["n"])
+        lines.append(
+            f"| {label} | {row['n']} | {row['reference_seconds']:.2f} "
+            f"| {row['engine_seconds']:.2f} | {row['speedup']:.1f}x |"
+        )
+    print("\n".join(lines))
     return 0
 
 
@@ -1107,6 +1205,12 @@ def main():
         help="run no benchmarks; exit non-zero if any recorded (non-smoke) "
         "mode in BENCH_speed.json is below its enforced speedup floor",
     )
+    parser.add_argument(
+        "--readme-table",
+        action="store_true",
+        help="run no benchmarks; print the recorded trajectory as the "
+        "markdown table README.md embeds (regenerate it after re-recording)",
+    )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
     parser.add_argument(
         "--processes",
@@ -1124,6 +1228,8 @@ def main():
     args = parser.parse_args()
 
     json_path = OUTPUT_DIR / "BENCH_speed.json"
+    if args.readme_table:
+        return print_readme_table(json_path)
     if args.check_floors:
         if args.sweep or args.fractional or args.incremental or args.backend or args.smoke:
             parser.error("--check-floors runs no benchmarks; pass it alone")

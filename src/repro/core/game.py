@@ -467,9 +467,10 @@ class BBCGame:
         """Return the cost of every node under ``profile``.
 
         Routed through the shared flat-array :class:`~repro.engine.CostEngine`
-        (one CSR snapshot, one int-BFS/Dijkstra per node, cached per profile
-        version); ``engine=False`` forces the reference per-node
-        :meth:`node_cost` path.
+        (one CSR snapshot, full-graph rows traversed by the selected list or
+        numpy backend — batched into giant multi-source sweeps when a report
+        planned them — and cached per profile version); ``engine=False``
+        forces the reference per-node :meth:`node_cost` path.
         """
         from ..engine import resolve_engine
 

@@ -8,8 +8,9 @@ invalidated by a version stamp instead of by reconstruction.
 **The index contract.**  :class:`~repro.engine.indexed.IndexedGame` maps the
 game's node labels to dense ints ``0..n-1`` exactly once, in declaration
 order, and materialises link lengths and the positive-preference target
-lists (with their weights) as flat per-node rows.  Every kernel in
-:mod:`repro.graphs.int_kernels` and every cache in
+lists (with their weights) as flat per-node rows.  Every traversal kernel
+(the list kernels of :mod:`repro.graphs.int_kernels` and the numpy kernels
+of :mod:`repro.graphs.int_kernels_np` alike) and every cache in
 :class:`~repro.engine.cost_engine.CostEngine` speaks ints; labels only appear
 at the public API boundary.  The mapping is immutable for the lifetime of the
 engine, so cached rows indexed by int stay meaningful across profile changes.

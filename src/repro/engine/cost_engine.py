@@ -4,8 +4,10 @@
 profile's edge set, stamped with a monotonically increasing ``version``.
 Every distance the game loop needs — environment rows ``d_{G-u}(a, ·)`` for
 deviation scoring, full-graph rows for ``all_costs`` — is computed by the
-flat kernels in :mod:`repro.graphs.int_kernels` and cached against that
-version stamp, so repeated probes of an unchanged profile (equilibrium
+selected traversal backend (the list kernels of
+:mod:`repro.graphs.int_kernels` or, via ``backend=``/auto-selection, the
+vectorised kernels of :mod:`repro.graphs.int_kernels_np`) and cached against
+that version stamp, so repeated probes of an unchanged profile (equilibrium
 checks, the stable tail of a best-response walk) pay for each SSSP at most
 once.
 

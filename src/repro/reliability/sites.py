@@ -68,6 +68,16 @@ REGISTERED_FAULT_SITES: Dict[str, str] = {
         "exhaustive_equilibrium_search per-profile evaluation, keyed by "
         "profile rank; models a failure mid-sweep between checkpoints"
     ),
+    "service.query": (
+        "GameService read-query dispatch, keyed (game, kind); models a "
+        "handler failure inside the serving layer (typed InjectedFault "
+        "error response, worker loop survives)"
+    ),
+    "service.update": (
+        "GameService strategy-update commit, keyed (game, node); fires "
+        "before any state changes so a drilled failure never publishes a "
+        "half-applied version"
+    ),
 }
 
 

@@ -1,10 +1,17 @@
 """Developer tooling that ships with the package but never runs in hot paths.
 
-Currently one subsystem lives here: :mod:`repro.tooling.lint`, the AST-based
-invariant linter that enforces the engine's engineering contracts (gated
-optional imports, RNG determinism, ``engine=`` kwarg threading, the fault-site
-registry, float-equality discipline, and cache-aliasing rules) statically, in
-CI, on both dependency legs.  Everything under this package is stdlib-only by
-design — the minimal CI leg (no numpy/scipy) must be able to run it, because
-that is precisely the leg where a gated-import violation matters.
+Two subsystems live here:
+
+* :mod:`repro.tooling.lint` — the AST-based invariant linter that enforces
+  the engine's engineering contracts (gated optional imports, RNG
+  determinism, ``engine=`` kwarg threading, the fault-site registry,
+  float-equality discipline, and cache-aliasing rules) statically, in CI,
+  on both dependency legs.
+* :mod:`repro.tooling.docs` — the markdown link checker that keeps the
+  documented public surface (``README.md``, ``docs/*.md``) free of broken
+  intra-repo links and heading anchors.
+
+Everything under this package is stdlib-only by design — the minimal CI leg
+(no numpy/scipy) must be able to run it, because that is precisely the leg
+where a gated-import violation matters.
 """

@@ -1,0 +1,28 @@
+"""``repro.tooling.docs`` — the intra-repo markdown link checker.
+
+The documented public surface (``README.md``, ``docs/*.md``) cross-links
+files and section anchors; a rename or a heading edit silently strands those
+links, and nothing else in CI would notice.  This checker parses every
+markdown link, resolves relative targets against the repo tree, and checks
+``#fragment`` anchors against GitHub-style heading slugs — stdlib-only, like
+everything under :mod:`repro.tooling`, so both dependency legs can run it.
+
+External links (``http(s)://``, ``mailto:``) are deliberately *not* fetched:
+CI must stay hermetic, and a flaky remote must never fail a docs build.
+
+Usage (exit codes mirror :mod:`repro.tooling.lint` — ``0`` clean, ``1``
+broken links, ``2`` the check itself could not run)::
+
+    python -m repro.tooling.docs             # README.md + docs/*.md
+    python -m repro.tooling.docs README.md docs/service.md
+"""
+
+from .checker import LinkFinding, check_file, check_paths, heading_slugs, iter_links
+
+__all__ = [
+    "LinkFinding",
+    "check_file",
+    "check_paths",
+    "heading_slugs",
+    "iter_links",
+]

@@ -1,0 +1,206 @@
+"""Markdown link extraction and intra-repo resolution (stdlib-only).
+
+The parser is deliberately small: inline links and reference definitions,
+with fenced code blocks and inline code spans masked out first (our docs
+quote markdown syntax inside code examples).  Anchors are matched against
+GitHub's heading slug algorithm — lowercase, punctuation stripped, spaces to
+hyphens, duplicate slugs suffixed ``-1``, ``-2``, … — which is the flavour
+the repository is rendered with.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+#: Schemes the checker skips: remote targets are out of scope by design.
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+#: ``[text](target)`` inline links; the target ends at the first unescaped
+#: closing paren (titles — ``(target "title")`` — are split off afterwards).
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?[^()]*)\)")
+
+#: ``[label]: target`` reference definitions (leading whitespace allowed).
+_REFERENCE_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)")
+
+#: ATX headings (``# ...`` through ``###### ...``).
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+_INLINE_CODE = re.compile(r"`[^`]*`")
+_SLUG_STRIP = re.compile(r"[^\w\- ]", re.UNICODE)
+
+
+@dataclass(frozen=True)
+class LinkFinding:
+    """One broken link: where it sits and why it does not resolve."""
+
+    path: str
+    line: int
+    target: str
+    reason: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: broken link {self.target!r} — {self.reason}"
+
+
+def _masked_lines(text: str) -> List[str]:
+    """The file's lines with fenced blocks and inline code spans blanked.
+
+    Line numbers are preserved (masked lines become empty), so findings
+    still point at the real location.
+    """
+    masked: List[str] = []
+    in_fence = False
+    fence_marker = ""
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if in_fence:
+            if stripped.startswith(fence_marker):
+                in_fence = False
+            masked.append("")
+            continue
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = True
+            fence_marker = stripped[:3]
+            masked.append("")
+            continue
+        masked.append(_INLINE_CODE.sub("", line))
+    return masked
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading (before duplicate suffixing)."""
+    text = _INLINE_CODE.sub(lambda m: m.group(0).strip("`"), heading)
+    # Strip markdown emphasis and link syntax, keep the visible text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("*", "").replace("_", " ").strip().lower()
+    text = _SLUG_STRIP.sub("", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(text: str) -> List[str]:
+    """Every anchor slug the rendered file exposes, duplicates suffixed."""
+    counts: Dict[str, int] = {}
+    slugs: List[str] = []
+    for line in _masked_lines_keep_headings(text):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.append(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def _masked_lines_keep_headings(text: str) -> List[str]:
+    """Lines with fenced blocks blanked but heading text intact."""
+    lines: List[str] = []
+    in_fence = False
+    fence_marker = ""
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if in_fence:
+            if stripped.startswith(fence_marker):
+                in_fence = False
+            lines.append("")
+            continue
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = True
+            fence_marker = stripped[:3]
+            lines.append("")
+            continue
+        lines.append(line)
+    return lines
+
+
+def iter_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every link in ``text``.
+
+    Fenced code blocks and inline code spans are skipped; image links and
+    reference definitions count (their targets must resolve too).
+    """
+    for number, line in enumerate(_masked_lines(text), start=1):
+        definition = _REFERENCE_DEF.match(line)
+        if definition:
+            yield number, definition.group(1)
+            continue
+        for match in _INLINE_LINK.finditer(line):
+            target = match.group(1)
+            # Split off an optional "title" after the URL.
+            target = target.split(' "')[0].split(" '")[0].strip()
+            if target.startswith("<") and target.endswith(">"):
+                target = target[1:-1]
+            if target:
+                yield number, target
+
+
+def _is_external(target: str) -> bool:
+    lowered = target.lower()
+    return any(lowered.startswith(scheme) for scheme in EXTERNAL_SCHEMES)
+
+
+def check_file(path: Path, root: Path) -> List[LinkFinding]:
+    """Check every intra-repo link in one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(root).as_posix()
+    findings: List[LinkFinding] = []
+    own_slugs = None
+    for line, target in iter_links(text):
+        if _is_external(target):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if not file_part:
+            # A same-file anchor.
+            if own_slugs is None:
+                own_slugs = heading_slugs(text)
+            if fragment and fragment.lower() not in own_slugs:
+                findings.append(
+                    LinkFinding(rel, line, target, "no such heading in this file")
+                )
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            findings.append(
+                LinkFinding(rel, line, target, "target escapes the repository")
+            )
+            continue
+        if not resolved.exists():
+            findings.append(LinkFinding(rel, line, target, "no such file"))
+            continue
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                findings.append(
+                    LinkFinding(
+                        rel, line, target, "anchor on a non-markdown target"
+                    )
+                )
+            elif fragment.lower() not in heading_slugs(
+                resolved.read_text(encoding="utf-8")
+            ):
+                findings.append(
+                    LinkFinding(rel, line, target, "no such heading in target file")
+                )
+    return findings
+
+
+def check_paths(paths: Sequence[Path], root: Path) -> List[LinkFinding]:
+    """Check several files; findings come back in path order."""
+    findings: List[LinkFinding] = []
+    for path in paths:
+        findings.extend(check_file(path, root))
+    return findings
+
+
+__all__ = [
+    "EXTERNAL_SCHEMES",
+    "LinkFinding",
+    "check_file",
+    "check_paths",
+    "heading_slugs",
+    "iter_links",
+]

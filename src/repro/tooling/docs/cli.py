@@ -1,0 +1,104 @@
+"""``python -m repro.tooling.docs`` — the docs link checker's command line.
+
+Exit-code contract (mirrors :mod:`repro.tooling.lint`, pinned by
+``tests/test_tooling_docs.py``):
+
+* ``0`` — every intra-repo link and anchor resolves;
+* ``1`` — at least one broken link;
+* ``2`` — the check itself could not run (an explicitly named file is
+  missing or unreadable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .checker import check_file
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: The default surface: the repo's front page plus the docs tree.
+DEFAULT_TARGETS = ("README.md", "docs")
+
+
+def _default_paths(root: Path) -> List[Path]:
+    paths: List[Path] = []
+    readme = root / "README.md"
+    if readme.exists():
+        paths.append(readme)
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        paths.extend(sorted(docs_dir.glob("*.md")))
+    return paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tooling.docs",
+        description="Check intra-repo markdown links and heading anchors.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="markdown files or directories to check "
+        f"(default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root that relative link targets must stay inside "
+        "(default: cwd)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"docs check: root {args.root!r} is not a directory", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.paths:
+        paths: List[Path] = []
+        for raw in args.paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            if path.is_dir():
+                paths.extend(sorted(path.glob("*.md")))
+            elif path.exists():
+                paths.append(path)
+            else:
+                print(f"docs check: no such file {raw!r}", file=sys.stderr)
+                return EXIT_ERROR
+    else:
+        paths = _default_paths(root)
+
+    findings = []
+    checked = 0
+    for path in paths:
+        try:
+            findings.extend(check_file(path, root))
+        except OSError as exc:
+            print(f"docs check: cannot read {path}: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        checked += 1
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"docs check: {len(findings)} broken link(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return EXIT_FINDINGS
+    print(f"docs check: {checked} file(s), all intra-repo links resolve")
+    return EXIT_CLEAN
+
+
+__all__ = ["EXIT_CLEAN", "EXIT_ERROR", "EXIT_FINDINGS", "build_parser", "main"]

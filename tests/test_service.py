@@ -1,0 +1,453 @@
+"""Contract tests for the always-on game service (``repro.service``).
+
+Four surfaces are pinned, mirroring ``docs/service.md``:
+
+* the catalog lifecycle (register / duplicate / evict / unknown) and the
+  reader/writer version contract (atomic updates, pinned reads);
+* batching — coalesced responses are bit-identical to the same queries
+  served alone, and ``gather`` guarantees one batch;
+* the typed-error contract, including fault-drill parity under a seeded
+  :class:`FaultPlan` (every response bit-identical or a documented error);
+* the metrics registry — exact counters, deterministic across identical
+  scripts, exposed as alias-free snapshots (the RPR006 discipline).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import UniformBBCGame, equilibrium_report
+from repro.core.errors import InvalidStrategy
+from repro.reliability import FaultPlan, FaultRule, active_faults
+from repro.service import (
+    DuplicateGameError,
+    GameCatalog,
+    GameMetrics,
+    GameService,
+    Query,
+    ServiceClosedError,
+    UnknownGameError,
+)
+from repro.service.catalog import KIND_INTEGRAL
+
+
+def run(coro):
+    """Drive one service scenario to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def make_game(n=8, k=2):
+    return UniformBBCGame(n, k)
+
+
+# --------------------------------------------------------------------------
+# Catalog lifecycle
+# --------------------------------------------------------------------------
+
+
+class TestCatalogLifecycle:
+    def test_register_warms_engine_at_version_one(self):
+        catalog = GameCatalog()
+        entry = catalog.register("g", make_game())
+        assert entry.kind == KIND_INTEGRAL
+        assert entry.version == 1
+        assert entry.engine is not None
+        # The engine is synced before the entry is visible: the recorded
+        # engine snapshot version matches the live snapshot.
+        assert entry.engine_version == entry.engine.snapshot().version
+
+    def test_duplicate_name_rejected(self):
+        catalog = GameCatalog()
+        catalog.register("g", make_game())
+        with pytest.raises(DuplicateGameError):
+            catalog.register("g", make_game())
+
+    def test_evict_then_lookup_raises_unknown(self):
+        catalog = GameCatalog()
+        catalog.register("g", make_game())
+        catalog.evict("g")
+        with pytest.raises(UnknownGameError):
+            catalog.entry("g")
+        with pytest.raises(UnknownGameError):
+            catalog.evict("g")
+
+    def test_non_game_registration_rejected(self):
+        with pytest.raises(InvalidStrategy):
+            GameCatalog().register("g", object())
+
+    def test_rejected_update_moves_nothing(self):
+        catalog = GameCatalog()
+        entry = catalog.register("g", make_game(6, 2))
+        before_profile = entry.profile
+        with pytest.raises(InvalidStrategy):
+            entry.apply_update(0, (1, 2, 3))  # over budget
+        assert entry.version == 1
+        assert entry.profile is before_profile
+
+    def test_committed_update_bumps_version_and_engine_snapshot(self):
+        catalog = GameCatalog()
+        entry = catalog.register("g", make_game(6, 2))
+        snap_before = entry.engine_version
+        assert entry.apply_update(0, (1, 2)) == 2
+        assert entry.version == 2
+        assert entry.engine_version > snap_before
+        assert entry.profile.strategy(0) == frozenset({1, 2})
+
+
+# --------------------------------------------------------------------------
+# Queries and the version contract
+# --------------------------------------------------------------------------
+
+
+class TestServiceQueries:
+    def test_query_payloads_match_reference(self):
+        game = make_game()
+
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", game, profile=game.empty_profile())
+                cost = await svc.cost("g", 0)
+                all_costs = await svc.all_costs("g")
+                social = await svc.social_cost("g")
+                report = await svc.report("g")
+                return cost, all_costs, social, report
+
+        cost, all_costs, social, report = run(scenario())
+        profile = game.empty_profile()
+        reference = equilibrium_report(game, profile, engine=False)
+        assert cost.ok and cost.payload == game.node_cost(profile, 0)
+        assert all_costs.payload == {
+            v: game.node_cost(profile, v) for v in game.nodes
+        }
+        assert social.payload == game.social_cost(profile, engine=False)
+        assert report.payload["is_equilibrium"] == reference.is_equilibrium
+        assert report.payload["max_regret"] == reference.max_regret
+        assert report.payload["nodes_checked"] == game.num_nodes
+
+    def test_update_bumps_version_and_stale_pin_fails_typed(self):
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", make_game())
+                first = await svc.cost("g", 0)
+                update = await svc.update("g", 0, (1, 2))
+                pinned = await svc.cost("g", 0, version=first.version)
+                fresh = await svc.cost("g", 0, version=update.version)
+                return first, update, pinned, fresh
+
+        first, update, pinned, fresh = run(scenario())
+        assert first.version == 1
+        assert update.ok and update.version == 2
+        assert update.payload == {"version": 2, "node": 0}
+        assert pinned.error == "StaleVersionError"
+        assert pinned.version == 2  # the response names the actual head
+        assert fresh.ok and fresh.version == 2
+
+    def test_reads_split_around_a_queued_update(self):
+        game = make_game()
+
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", game)
+                queue = svc._queue_for("g")
+                loop = asyncio.get_running_loop()
+                futures = []
+                # Enqueue read / update / read in one wave: the worker must
+                # answer the first read at version 1 and the second at 2.
+                before = loop.create_future()
+                after = loop.create_future()
+                committed = loop.create_future()
+                from repro.service.service import _QueuedQuery, _QueuedUpdate
+
+                queue.put_nowait(_QueuedQuery(Query(kind="cost", node=0), before))
+                queue.put_nowait(_QueuedUpdate(0, (1, 2), committed))
+                queue.put_nowait(_QueuedQuery(Query(kind="cost", node=0), after))
+                futures.extend([before, committed, after])
+                return await asyncio.gather(*futures)
+
+        before, committed, after = run(scenario())
+        assert before.version == 1 and committed.version == 2
+        assert after.version == 2
+        assert before.payload == game.node_cost(game.empty_profile(), 0)
+        assert after.payload == game.node_cost(
+            game.empty_profile().with_strategy(0, frozenset({1, 2})), 0
+        )
+
+    def test_unknown_game_and_closed_service_raise(self):
+        async def scenario():
+            svc = GameService()
+            with pytest.raises(UnknownGameError):
+                await svc.cost("ghost", 0)
+            svc.register("g", make_game())
+            await svc.close()
+            with pytest.raises(ServiceClosedError):
+                await svc.cost("g", 0)
+            with pytest.raises(ServiceClosedError):
+                svc.register("late", make_game())
+
+        run(scenario())
+
+    def test_malformed_queries_answer_typed_not_raise(self):
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", make_game())
+                bad_kind = await svc.submit("g", Query(kind="teleport"))
+                bad_update = await svc.update("g", 0, (1, 2, 3))  # over budget
+                alive = await svc.cost("g", 0)
+                return bad_kind, bad_update, alive
+
+        bad_kind, bad_update, alive = run(scenario())
+        assert bad_kind.error == "InvalidQueryError"
+        assert bad_update.error == "InvalidStrategy"
+        assert bad_update.version == 1  # the rejected write moved nothing
+        assert alive.ok  # the worker loop survived both failures
+
+
+# --------------------------------------------------------------------------
+# Batching
+# --------------------------------------------------------------------------
+
+
+class TestBatching:
+    def test_gather_coalesces_into_one_batch(self):
+        game = make_game()
+
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", game)
+                responses = await svc.gather(
+                    "g", [Query(kind="cost", node=v) for v in game.nodes]
+                )
+                stats = await svc.stats("g")
+                return responses, stats
+
+        responses, stats = run(scenario())
+        assert stats.payload["batches"] == 1
+        assert stats.payload["batched_queries"] == game.num_nodes
+        assert stats.payload["coalesced_queries"] == game.num_nodes
+        assert stats.payload["max_batch"] == game.num_nodes
+        assert stats.payload["coalescing_factor"] == pytest.approx(game.num_nodes)
+        profile = game.empty_profile()
+        for node, response in zip(game.nodes, responses):
+            assert response.ok and response.version == 1
+            assert response.payload == game.node_cost(profile, node)
+
+    def test_batched_responses_bit_identical_to_solo(self):
+        game = make_game()
+        queries = [
+            Query(kind="cost", node=0),
+            Query(kind="best_response", node=1),
+            Query(kind="what_if", node=2, strategy=(0, 1)),
+            Query(kind="social_cost"),
+            Query(kind="report"),
+        ]
+
+        async def batched():
+            async with GameService() as svc:
+                svc.register("g", game)
+                return await svc.gather("g", queries)
+
+        async def solo():
+            async with GameService() as svc:
+                svc.register("g", game)
+                responses = []
+                for query in queries:
+                    responses.append(await svc.submit("g", query))
+                return responses
+
+        for together, alone in zip(run(batched()), run(solo())):
+            assert together.comparable() == alone.comparable()
+
+
+# --------------------------------------------------------------------------
+# Fault-drill parity (the typed-error availability contract)
+# --------------------------------------------------------------------------
+
+
+def _drill_script(svc_name="g"):
+    async def scenario(plan=None):
+        async def drive():
+            async with GameService() as svc:
+                svc.register(svc_name, make_game())
+                waves = []
+                waves.append(
+                    await svc.gather(
+                        svc_name, [Query(kind="cost", node=v) for v in range(4)]
+                    )
+                )
+                waves.append([await svc.update(svc_name, 1, (0, 2))])
+                waves.append(
+                    await svc.gather(
+                        svc_name,
+                        [Query(kind="best_response", node=2), Query(kind="report")],
+                    )
+                )
+                return [r for wave in waves for r in wave]
+
+        if plan is None:
+            return await drive()
+        with active_faults(plan):
+            return await drive()
+
+    return scenario
+
+
+class TestFaultDrillParity:
+    def test_injected_read_fault_is_typed_and_isolated(self):
+        scenario = _drill_script()
+        healthy = run(scenario())
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="service.query", keys=frozenset({("g", "cost")})),
+            ),
+            seed=7,
+        )
+        drilled = run(scenario(plan))
+        assert len(healthy) == len(drilled)
+        injected = 0
+        for clean, dirty in zip(healthy, drilled):
+            if dirty.error == "InjectedFault":
+                injected += 1
+                assert clean.ok  # the fault replaced a healthy payload
+            else:
+                # Everything the fault did not touch is bit-identical.
+                assert dirty.comparable() == clean.comparable()
+        assert injected == 1  # times=1: exactly one read was drilled
+
+    def test_injected_update_fault_never_publishes_a_version(self):
+        scenario = _drill_script()
+        healthy = run(scenario())
+        plan = FaultPlan(
+            rules=(FaultRule(site="service.update", keys=frozenset({("g", 1)})),),
+            seed=7,
+        )
+        drilled = run(scenario(plan))
+        update_index = 4  # the script's one update follows the 4-cost wave
+        assert healthy[update_index].kind == "update"
+        assert drilled[update_index].error == "InjectedFault"
+        # The drilled write fired *before* any state change: the version
+        # never moved, so later reads answer at version 1 against the
+        # pre-update profile — consistent, just stale.
+        assert drilled[update_index].version == 1
+        for response in drilled[update_index + 1 :]:
+            assert response.ok and response.version == 1
+
+
+# --------------------------------------------------------------------------
+# Metrics: exact counters, deterministic scripts, alias-free snapshots
+# --------------------------------------------------------------------------
+
+#: Snapshot fields that read the wall clock — the only nondeterminism the
+#: metrics contract allows.
+LATENCY_FIELDS = ("latency_count", "latency_p50_s", "latency_p99_s")
+
+
+def _without_latency(snapshot):
+    return {k: v for k, v in snapshot.items() if k not in LATENCY_FIELDS}
+
+
+class TestMetrics:
+    def test_exact_service_counters_for_a_fixed_script(self):
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", make_game())
+                await svc.gather(
+                    "g", [Query(kind="cost", node=v) for v in range(4)]
+                )
+                await svc.update("g", 0, (1, 2))
+                await svc.gather(
+                    "g",
+                    [
+                        Query(kind="best_response", node=1),
+                        Query(kind="what_if", node=2, strategy=(0, 3)),
+                        Query(kind="social_cost"),
+                    ],
+                )
+                await svc.submit("g", Query(kind="teleport"))
+                return await svc.stats("g")
+
+        stats = run(scenario()).payload
+        assert stats["queries"] == {
+            "cost": 4,
+            "update": 1,
+            "best_response": 1,
+            "what_if": 1,
+            "social_cost": 1,
+            "teleport": 1,
+        }
+        assert stats["errors"] == {"InvalidQueryError": 1}
+        assert stats["updates"] == 1
+        # Wave 1 batches 4 reads, wave 2 batches 3; the malformed kind is
+        # not a row query, so it joins no batch.
+        assert stats["batches"] == 2
+        assert stats["batched_queries"] == 7
+        assert stats["coalesced_queries"] == 7
+        assert stats["max_batch"] == 4
+        assert stats["coalescing_factor"] == pytest.approx(7 / 2)
+        assert stats["version"] == 2
+        assert stats["name"] == "g" and stats["kind"] == "integral"
+        # The engine saw real row traffic, and every row was served one of
+        # the three documented ways.
+        engine = stats["engine"]
+        total_rows = (
+            engine.get("cache_hits", 0)
+            + engine.get("repairs", 0)
+            + engine.get("recomputes", 0)
+        )
+        assert total_rows > 0
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+
+    def test_identical_scripts_produce_identical_counters(self):
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", make_game())
+                await svc.gather(
+                    "g",
+                    [Query(kind="cost", node=v) for v in range(6)]
+                    + [Query(kind="report")],
+                )
+                await svc.update("g", 3, (0, 1))
+                await svc.gather(
+                    "g", [Query(kind="best_response", node=v) for v in range(3)]
+                )
+                return await svc.stats("g")
+
+        first = _without_latency(run(scenario()).payload)
+        second = _without_latency(run(scenario()).payload)
+        # Exact counters, not samples: two runs of the same script agree on
+        # every field, including the engine's cache/repair/traversal deltas.
+        assert first == second
+
+    def test_snapshots_are_alias_free(self):
+        async def scenario():
+            async with GameService() as svc:
+                svc.register("g", make_game())
+                await svc.cost("g", 0)
+                first = await svc.stats("g")
+                # Mutating a returned snapshot must not poison the registry.
+                first.payload["queries"]["cost"] = 10_000
+                first.payload["engine"]["cache_hits"] = -1
+                first.payload["updates"] = 99
+                second = await svc.stats("g")
+                return second
+
+        second = run(scenario())
+        assert second.payload["queries"]["cost"] == 1
+        assert second.payload["updates"] == 0
+        assert second.payload["engine"].get("cache_hits", 0) >= 0
+
+    def test_absorb_engine_stats_accumulates_deltas(self):
+        metrics = GameMetrics()
+        metrics.absorb_engine_stats({"rows_reused": 5, "rows_computed": 2})
+        metrics.absorb_engine_stats({"rows_reused": 9, "rows_computed": 2})
+        assert metrics.engine == {"cache_hits": 9, "recomputes": 2}
+        assert metrics.cache_hit_rate() == pytest.approx(9 / 11)
+
+    def test_latency_reservoir_is_bounded(self):
+        from repro.service.metrics import LATENCY_RESERVOIR_LIMIT
+
+        metrics = GameMetrics()
+        for _ in range(LATENCY_RESERVOIR_LIMIT + 100):
+            metrics.record_query("cost", 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_count"] <= LATENCY_RESERVOIR_LIMIT
+        assert snapshot["queries"]["cost"] == LATENCY_RESERVOIR_LIMIT + 100

@@ -1,0 +1,161 @@
+"""Contract tests for the docs link checker (``python -m repro.tooling.docs``).
+
+Mirrors ``tests/test_tooling_lint.py``'s gate-pinning style: the slug /
+link-extraction primitives get positive and negative fixtures, and the CLI's
+exit-code contract — 0 clean / 1 broken links / 2 broken run — is pinned
+against synthetic doc trees so the CI step's behaviour never drifts
+silently.
+"""
+
+import textwrap
+
+from repro.tooling.docs import check_file, heading_slugs, iter_links
+from repro.tooling.docs.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+
+
+def _write(tmp_path, relpath, text):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------------
+# Heading slugs (GitHub's anchor algorithm)
+# --------------------------------------------------------------------------
+
+
+class TestHeadingSlugs:
+    def test_lowercases_strips_punctuation_hyphenates(self):
+        text = "# The `engine=` convention\n## Reader/Writer contract!\n"
+        assert heading_slugs(text) == [
+            "the-engine-convention",
+            "readerwriter-contract",
+        ]
+
+    def test_duplicate_headings_get_numeric_suffixes(self):
+        text = "# Setup\n## Setup\n### Setup\n"
+        assert heading_slugs(text) == ["setup", "setup-1", "setup-2"]
+
+    def test_headings_inside_fences_are_ignored(self):
+        text = "```\n# not a heading\n```\n# Real heading\n"
+        assert heading_slugs(text) == ["real-heading"]
+
+
+# --------------------------------------------------------------------------
+# Link extraction
+# --------------------------------------------------------------------------
+
+
+class TestIterLinks:
+    def test_inline_reference_and_image_links_found(self):
+        text = textwrap.dedent(
+            """\
+            See [the guide](docs/guide.md) and ![a chart](img/chart.png).
+
+            [baseline]: benchmarks/output/BENCH_speed.json
+            """
+        )
+        assert list(iter_links(text)) == [
+            (1, "docs/guide.md"),
+            (1, "img/chart.png"),
+            (3, "benchmarks/output/BENCH_speed.json"),
+        ]
+
+    def test_titles_and_angle_brackets_stripped(self):
+        links = list(iter_links('[x](<docs/a.md> "a title")\n'))
+        assert links == [(1, "docs/a.md")]
+
+    def test_code_blocks_and_spans_are_masked(self):
+        text = textwrap.dedent(
+            """\
+            `[not](a-link.md)`
+
+            ```md
+            [also not](missing.md)
+            ```
+            [real](README.md)
+            """
+        )
+        assert list(iter_links(text)) == [(6, "README.md")]
+
+
+# --------------------------------------------------------------------------
+# Resolution
+# --------------------------------------------------------------------------
+
+
+class TestCheckFile:
+    def test_clean_file_has_no_findings(self, tmp_path):
+        _write(tmp_path, "docs/other.md", "# Target section\n")
+        path = _write(
+            tmp_path,
+            "docs/index.md",
+            """\
+            # Index
+
+            [ok](other.md) and [anchored](other.md#target-section) and
+            [same file](#index) and [external](https://example.com/x).
+            """,
+        )
+        assert check_file(path, tmp_path) == []
+
+    def test_missing_file_bad_anchor_and_escape_are_found(self, tmp_path):
+        _write(tmp_path, "docs/other.md", "# Only section\n")
+        path = _write(
+            tmp_path,
+            "docs/index.md",
+            """\
+            [gone](missing.md)
+            [bad anchor](other.md#no-such-heading)
+            [escape](../../etc/passwd)
+            [bad self](#nowhere)
+            """,
+        )
+        reasons = {f.target: f.reason for f in check_file(path, tmp_path)}
+        assert reasons == {
+            "missing.md": "no such file",
+            "other.md#no-such-heading": "no such heading in target file",
+            "../../etc/passwd": "target escapes the repository",
+            "#nowhere": "no such heading in this file",
+        }
+
+    def test_anchor_on_non_markdown_target_is_found(self, tmp_path):
+        _write(tmp_path, "data.json", "{}")
+        path = _write(tmp_path, "index.md", "[x](data.json#field)\n")
+        (finding,) = check_file(path, tmp_path)
+        assert finding.reason == "anchor on a non-markdown target"
+        assert finding.line == 1
+
+
+# --------------------------------------------------------------------------
+# CLI exit-code contract
+# --------------------------------------------------------------------------
+
+
+class TestCliContract:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, "README.md", "[docs](docs/guide.md)\n")
+        _write(tmp_path, "docs/guide.md", "# Guide\n")
+        assert main(["--root", str(tmp_path)]) == EXIT_CLEAN
+        assert "all intra-repo links resolve" in capsys.readouterr().out
+
+    def test_broken_link_exits_one_and_names_it(self, tmp_path, capsys):
+        _write(tmp_path, "README.md", "[gone](docs/missing.md)\n")
+        assert main(["--root", str(tmp_path)]) == EXIT_FINDINGS
+        captured = capsys.readouterr()
+        assert "docs/missing.md" in captured.out
+        assert "broken link(s)" in captured.err
+
+    def test_explicit_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path), "nope.md"]) == EXIT_ERROR
+        assert "no such file" in capsys.readouterr().err
+
+    def test_bad_root_exits_two(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path / "absent")]) == EXIT_ERROR
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_directory_argument_checks_every_markdown_file(self, tmp_path):
+        _write(tmp_path, "docs/a.md", "[ok](b.md)\n")
+        _write(tmp_path, "docs/b.md", "[broken](c.md)\n")
+        assert main(["--root", str(tmp_path), "docs"]) == EXIT_FINDINGS
